@@ -1,0 +1,217 @@
+(* pg_ssi: command-line front end.
+
+     pg_ssi demo                          -- write-skew walkthrough
+     pg_ssi bench <fig4|fig5a|fig5b|fig6|defer> [--quick]
+     pg_ssi workload <sibench|tpcc|rubis> --mode <si|ssi|ssi-noro|s2pl> ...
+
+   The bench subcommand prints the same tables as bench/main.exe; the
+   workload subcommand runs a single configuration and reports its
+   numbers, which is handy for ad-hoc comparisons. *)
+
+open Cmdliner
+open Ssi_workload
+open Ssi_harness
+module E = Ssi_engine.Engine
+
+(* ---- demo -------------------------------------------------------------- *)
+
+let run_demo () =
+  let open Ssi_storage in
+  Format.printf "Write-skew demo (paper Figure 1)@.";
+  let outcome isolation =
+    let db = E.create () in
+    E.create_table db ~name:"doctors" ~cols:[ "name"; "oncall" ] ~key:"name";
+    E.with_txn db (fun t ->
+        E.insert t ~table:"doctors" [| Value.Str "alice"; Value.Bool true |];
+        E.insert t ~table:"doctors" [| Value.Str "bob"; Value.Bool true |]);
+    let oncall t =
+      List.length (E.seq_scan t ~table:"doctors" ~filter:(fun r -> Value.as_bool r.(1)) ())
+    in
+    let go_off t who =
+      if oncall t >= 2 then
+        ignore
+          (E.update t ~table:"doctors" ~key:(Value.Str who) ~f:(fun r ->
+               [| r.(0); Value.Bool false |]))
+    in
+    let t1 = E.begin_txn ~isolation db in
+    let t2 = E.begin_txn ~isolation db in
+    go_off t1 "alice";
+    go_off t2 "bob";
+    let c1 = (try E.commit t1; true with E.Serialization_failure _ -> false) in
+    let c2 = (try E.commit t2; true with E.Serialization_failure _ -> false) in
+    let left = E.with_txn db (fun t -> oncall t) in
+    (c1, c2, left)
+  in
+  let c1, c2, left = outcome E.Repeatable_read in
+  Format.printf "  snapshot isolation: T1 %s, T2 %s -> %d doctor(s) on call%s@."
+    (if c1 then "committed" else "aborted")
+    (if c2 then "committed" else "aborted")
+    left
+    (if left = 0 then "  <- INVARIANT VIOLATED" else "");
+  let c1, c2, left = outcome E.Serializable in
+  Format.printf "  SSI serializable:   T1 %s, T2 %s -> %d doctor(s) on call@."
+    (if c1 then "committed" else "aborted")
+    (if c2 then "committed" else "aborted")
+    left;
+  0
+
+(* ---- bench -------------------------------------------------------------- *)
+
+let run_bench name quick =
+  (match name with
+  | "fig4" ->
+      let sizes = if quick then [ 10; 100; 1000 ] else [ 10; 30; 100; 300; 1000; 3000 ] in
+      let ms = Experiments.fig4 ~sizes ~duration:(if quick then 1.0 else 3.0) () in
+      print_string
+        (Experiments.render_normalized ~title:"Figure 4: SIBENCH"
+           ~x_header:"table size (rows)" ms)
+  | "fig5a" ->
+      let ms =
+        Experiments.fig5a
+          ~fractions:(if quick then [ 0.; 0.5; 1.0 ] else [ 0.; 0.2; 0.4; 0.6; 0.8; 1.0 ])
+          ~duration:(if quick then 1.0 else 3.0)
+          ()
+      in
+      print_string
+        (Experiments.render_normalized ~title:"Figure 5a: DBT-2++ (in-memory)"
+           ~x_header:"read-only fraction" ms)
+  | "fig5b" ->
+      let ms =
+        Experiments.fig5b
+          ~fractions:(if quick then [ 0.; 0.5; 1.0 ] else [ 0.; 0.2; 0.4; 0.6; 0.8; 1.0 ])
+          ~duration:(if quick then 5.0 else 20.0)
+          ~warehouses:(if quick then 8 else 60)
+          ~workers:(if quick then 12 else 36)
+          ()
+      in
+      print_string
+        (Experiments.render_normalized ~title:"Figure 5b: DBT-2++ (disk-bound)"
+           ~x_header:"read-only fraction" ms)
+  | "fig6" ->
+      let ms = Experiments.fig6 ~duration:(if quick then 1.0 else 4.0) () in
+      print_string (Experiments.render_fig6 ms)
+  | "defer" ->
+      let r = Experiments.deferrable ~samples:(if quick then 15 else 60) () in
+      print_string (Experiments.render_deferrable r)
+  | other ->
+      Format.eprintf "unknown experiment %s@." other;
+      exit 1);
+  0
+
+(* ---- workload ------------------------------------------------------------ *)
+
+let mode_of_string = function
+  | "si" -> Driver.SI
+  | "ssi" -> Driver.SSI
+  | "ssi-noro" -> Driver.SSI_no_ro_opt
+  | "s2pl" -> Driver.S2PL
+  | other -> invalid_arg ("unknown mode " ^ other)
+
+let run_workload name mode_str workers duration seed =
+  let mode = mode_of_string mode_str in
+  let bench =
+    { Driver.default_bench with Driver.mode; workers; duration; warmup = duration /. 5.; seed }
+  in
+  let setup, specs =
+    match name with
+    | "sibench" -> (Sibench.setup ~rows:100, Sibench.specs ~rows:100 ())
+    | "tpcc" -> (Tpcc.setup ~warehouses:5, Tpcc.specs ~warehouses:5 ~ro_fraction:0.08)
+    | "rubis" -> (Rubis.setup ~users:200 ~items:220, Rubis.specs ~users:200 ~items:220)
+    | other -> invalid_arg ("unknown workload " ^ other)
+  in
+  let r = Driver.run ~setup ~specs bench in
+  Format.printf "workload=%s mode=%s workers=%d duration=%.1fs@." name
+    (Driver.mode_name mode) workers duration;
+  Format.printf "  committed    %d (%.0f tx/s)@." r.Driver.committed r.Driver.throughput;
+  Format.printf "  failures     %d (%.3f%%), of which %d deadlocks@." r.Driver.failures
+    (100. *. r.Driver.failure_rate) r.Driver.deadlocks;
+  Format.printf "  cpu busy     %.0f%%@." (100. *. r.Driver.cpu_busy);
+  0
+
+(* ---- sql REPL ------------------------------------------------------------ *)
+
+let run_sql script_file =
+  let engine = E.create () in
+  let session = Ssi_sql.Session.create engine in
+  let exec_line line =
+    match String.trim line with
+    | "" -> ()
+    | line -> (
+        try
+          List.iter
+            (fun r -> print_endline (Ssi_sql.Session.render r))
+            (Ssi_sql.Session.exec_sql session line)
+        with
+        | Ssi_sql.Session.Sql_error m -> Printf.printf "ERROR: %s\n%!" m
+        | Ssi_sql.Parser.Parse_error m -> Printf.printf "syntax error: %s\n%!" m
+        | Ssi_sql.Lexer.Lex_error m -> Printf.printf "syntax error: %s\n%!" m)
+  in
+  (match script_file with
+  | Some path ->
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let contents = really_input_string ic n in
+      close_in ic;
+      exec_line contents
+  | None ->
+      print_endline "pg_ssi SQL shell (SERIALIZABLE by default). End statements with ';'.";
+      let buf = Buffer.create 256 in
+      (try
+         while true do
+           print_string (if Buffer.length buf = 0 then "pg_ssi=# " else "pg_ssi-# ");
+           let line = read_line () in
+           Buffer.add_string buf line;
+           Buffer.add_char buf '\n';
+           if String.contains line ';' then begin
+             exec_line (Buffer.contents buf);
+             Buffer.clear buf
+           end
+         done
+       with End_of_file -> ()));
+  0
+
+(* ---- cmdliner wiring --------------------------------------------------------- *)
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Write-skew walkthrough (paper Figure 1)")
+    Term.(const run_demo $ const ())
+
+let bench_cmd =
+  let exp_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"EXPERIMENT" ~doc:"fig4, fig5a, fig5b, fig6 or defer")
+  in
+  let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced problem sizes") in
+  Cmd.v (Cmd.info "bench" ~doc:"Regenerate a table or figure from the paper (§8)")
+    Term.(const run_bench $ exp_arg $ quick_arg)
+
+let workload_cmd =
+  let wl_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"WORKLOAD" ~doc:"sibench, tpcc or rubis")
+  in
+  let mode_arg =
+    Arg.(value & opt string "ssi" & info [ "mode" ] ~doc:"si, ssi, ssi-noro or s2pl")
+  in
+  let workers_arg = Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Concurrent sessions") in
+  let duration_arg =
+    Arg.(value & opt float 3.0 & info [ "duration" ] ~doc:"Measured simulated seconds")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed") in
+  Cmd.v (Cmd.info "workload" ~doc:"Run one workload configuration and report its numbers")
+    Term.(const run_workload $ wl_arg $ mode_arg $ workers_arg $ duration_arg $ seed_arg)
+
+let sql_cmd =
+  let file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "file"; "f" ] ~docv:"FILE" ~doc:"Execute a SQL script instead of a REPL")
+  in
+  Cmd.v (Cmd.info "sql" ~doc:"Interactive SQL shell on a fresh in-memory database")
+    Term.(const run_sql $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "pg_ssi" ~version:"1.0.0"
+      ~doc:"Serializable Snapshot Isolation in PostgreSQL, reproduced in OCaml"
+  in
+  exit (Cmd.eval' (Cmd.group info [ demo_cmd; bench_cmd; workload_cmd; sql_cmd ]))

@@ -1,0 +1,1 @@
+examples/ad_hoc_queries.ml: Format List Printf Ssi_engine Ssi_sql Ssi_storage Value

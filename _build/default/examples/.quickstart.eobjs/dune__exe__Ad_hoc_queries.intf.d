@@ -1,0 +1,1 @@
+examples/ad_hoc_queries.mli:

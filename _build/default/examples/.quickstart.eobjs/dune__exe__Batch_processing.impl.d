@@ -1,0 +1,1 @@
+examples/batch_processing.ml: Array Format Hashtbl List Ssi_engine Ssi_sim Ssi_storage Ssi_util Value

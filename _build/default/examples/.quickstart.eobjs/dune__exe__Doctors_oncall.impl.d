@@ -1,0 +1,1 @@
+examples/doctors_oncall.ml: Array Format List Ssi_engine Ssi_sim Ssi_storage Ssi_util Value

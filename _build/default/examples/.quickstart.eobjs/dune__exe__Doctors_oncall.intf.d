@@ -1,0 +1,1 @@
+examples/doctors_oncall.mli:

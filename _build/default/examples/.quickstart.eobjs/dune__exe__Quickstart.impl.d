@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Ssi_engine Ssi_storage Value

@@ -1,0 +1,1 @@
+examples/replication_backup.ml: Array Format Hashtbl List Option Ssi_engine Ssi_replication Ssi_sim Ssi_storage Ssi_util Value

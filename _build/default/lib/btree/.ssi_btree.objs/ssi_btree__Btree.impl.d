@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Array List Printf Ssi_storage Value

@@ -1,0 +1,1 @@
+lib/btree/btree.mli: Ssi_storage Value

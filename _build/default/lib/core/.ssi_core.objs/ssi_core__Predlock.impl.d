@@ -1,0 +1,1 @@
+lib/core/predlock.ml: Format Hashtbl Heap List Ssi_mvcc Ssi_storage String Value

@@ -1,0 +1,1 @@
+lib/core/predlock.mli: Format Heap Ssi_mvcc Ssi_storage Value

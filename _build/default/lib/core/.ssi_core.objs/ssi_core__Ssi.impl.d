@@ -1,0 +1,1 @@
+lib/core/ssi.ml: Buffer Hashtbl Heap List Predlock Printf Queue Ssi_mvcc Ssi_storage Ssi_util Waitq

@@ -1,0 +1,1 @@
+lib/core/ssi.mli: Heap Predlock Ssi_mvcc Ssi_storage Ssi_util Value

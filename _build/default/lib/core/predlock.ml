@@ -1,0 +1,509 @@
+open Ssi_storage
+
+type xid = Heap.xid
+type cseq = Ssi_mvcc.Mvcc.cseq
+
+type target =
+  | Relation of string
+  | Page of string * int
+  | Tuple of string * Value.t
+  | Index_page of string * int
+  | Index_key of string * Value.t
+  | Index_inf of string
+  | Index_rel of string
+
+let pp_target ppf = function
+  | Relation r -> Format.fprintf ppf "rel:%s" r
+  | Page (r, p) -> Format.fprintf ppf "page:%s/%d" r p
+  | Tuple (r, k) -> Format.fprintf ppf "tuple:%s/%a" r Value.pp k
+  | Index_page (i, p) -> Format.fprintf ppf "idxpage:%s/%d" i p
+  | Index_key (i, k) -> Format.fprintf ppf "idxkey:%s/%a" i Value.pp k
+  | Index_inf i -> Format.fprintf ppf "idxinf:%s" i
+  | Index_rel i -> Format.fprintf ppf "idx:%s" i
+
+type config = {
+  max_tuple_locks_per_page : int;
+  max_page_locks_per_relation : int;
+  max_page_locks_per_index : int;
+}
+
+let default_config =
+  { max_tuple_locks_per_page = 4; max_page_locks_per_relation = 16; max_page_locks_per_index = 16 }
+
+module Target_table = Hashtbl.Make (struct
+  type t = target
+
+  let equal a b =
+    match (a, b) with
+    | Relation x, Relation y -> String.equal x y
+    | Page (r, p), Page (r', p') -> String.equal r r' && p = p'
+    | Tuple (r, k), Tuple (r', k') -> String.equal r r' && Value.equal k k'
+    | Index_page (i, p), Index_page (i', p') -> String.equal i i' && p = p'
+    | Index_key (i, k), Index_key (i', k') -> String.equal i i' && Value.equal k k'
+    | Index_inf x, Index_inf y -> String.equal x y
+    | Index_rel x, Index_rel y -> String.equal x y
+    | (Relation _ | Page _ | Tuple _ | Index_page _ | Index_key _ | Index_inf _ | Index_rel _), _
+      ->
+        false
+
+  let hash = function
+    | Relation r -> Hashtbl.hash (0, r)
+    | Page (r, p) -> Hashtbl.hash (1, r, p)
+    | Tuple (r, k) -> Hashtbl.hash (2, r, Value.hash k)
+    | Index_page (i, p) -> Hashtbl.hash (3, i, p)
+    | Index_key (i, k) -> Hashtbl.hash (5, i, Value.hash k)
+    | Index_inf i -> Hashtbl.hash (6, i)
+    | Index_rel i -> Hashtbl.hash (4, i)
+end)
+
+type entry = {
+  mutable holders : xid list;
+  mutable old_committed : cseq option;  (** dummy owner's latest recorded cseq *)
+}
+
+(* Per-owner bookkeeping enabling promotion and O(locks) release. *)
+type owner_state = {
+  held : unit Target_table.t;
+  (* Tuple locks per (relation, heap page): the tuple targets held there. *)
+  tuples_by_page : (string * int, target list ref) Hashtbl.t;
+  (* Heap-page locks per relation. *)
+  pages_by_rel : (string, int list ref) Hashtbl.t;
+  (* Index-page locks per index. *)
+  pages_by_index : (string, int list ref) Hashtbl.t;
+}
+
+type t = {
+  table : entry Target_table.t;
+  owners : (xid, owner_state) Hashtbl.t;
+  config : config;
+  mutable promotions : int;
+}
+
+let create ?(config = default_config) () =
+  { table = Target_table.create 1024; owners = Hashtbl.create 64; config; promotions = 0 }
+
+let entry_of t target =
+  match Target_table.find_opt t.table target with
+  | Some e -> e
+  | None ->
+      let e = { holders = []; old_committed = None } in
+      Target_table.add t.table target e;
+      e
+
+let owner_state t owner =
+  match Hashtbl.find_opt t.owners owner with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          held = Target_table.create 16;
+          tuples_by_page = Hashtbl.create 8;
+          pages_by_rel = Hashtbl.create 4;
+          pages_by_index = Hashtbl.create 4;
+        }
+      in
+      Hashtbl.add t.owners owner s;
+      s
+
+let holds t ~owner target =
+  match Hashtbl.find_opt t.owners owner with
+  | None -> false
+  | Some s -> Target_table.mem s.held target
+
+let maybe_drop_entry t target e =
+  if e.holders = [] && e.old_committed = None then Target_table.remove t.table target
+
+(* Remove [target] from both the shared table and the owner's bookkeeping
+   (except the per-page/per-rel counters, which callers maintain). *)
+let forget t owner state target =
+  if Target_table.mem state.held target then begin
+    Target_table.remove state.held target;
+    match Target_table.find_opt t.table target with
+    | None -> ()
+    | Some e ->
+        e.holders <- List.filter (fun o -> o <> owner) e.holders;
+        maybe_drop_entry t target e
+  end
+
+let grant t owner state target =
+  if not (Target_table.mem state.held target) then begin
+    Target_table.replace state.held target ();
+    let e = entry_of t target in
+    e.holders <- owner :: e.holders;
+    true
+  end
+  else false
+
+let lock_relation t ~owner ~rel =
+  let state = owner_state t owner in
+  ignore (grant t owner state (Relation rel))
+
+let lock_index_rel t ~owner ~index =
+  let state = owner_state t owner in
+  ignore (grant t owner state (Index_rel index))
+
+(* Promote all of the owner's page and tuple locks on [rel] to a single
+   relation lock. *)
+let promote_owner_relation t owner state rel =
+  t.promotions <- t.promotions + 1;
+  (match Hashtbl.find_opt state.pages_by_rel rel with
+  | None -> ()
+  | Some pages ->
+      List.iter (fun p -> forget t owner state (Page (rel, p))) !pages;
+      Hashtbl.remove state.pages_by_rel rel);
+  let to_drop = ref [] in
+  Hashtbl.iter
+    (fun (r, _page) _targets -> if r = rel then to_drop := (r, _page) :: !to_drop)
+    state.tuples_by_page;
+  List.iter
+    (fun key ->
+      (match Hashtbl.find_opt state.tuples_by_page key with
+      | None -> ()
+      | Some targets -> List.iter (forget t owner state) !targets);
+      Hashtbl.remove state.tuples_by_page key)
+    !to_drop;
+  ignore (grant t owner state (Relation rel))
+
+let lock_page t ~owner ~rel ~page =
+  let state = owner_state t owner in
+  if Target_table.mem state.held (Relation rel) then ()
+  else if grant t owner state (Page (rel, page)) then begin
+    (* Page lock subsumes the owner's tuple locks on that page. *)
+    (match Hashtbl.find_opt state.tuples_by_page (rel, page) with
+    | None -> ()
+    | Some targets ->
+        List.iter (forget t owner state) !targets;
+        Hashtbl.remove state.tuples_by_page (rel, page));
+    let pages =
+      match Hashtbl.find_opt state.pages_by_rel rel with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.add state.pages_by_rel rel l;
+          l
+    in
+    pages := page :: !pages;
+    if List.length !pages > t.config.max_page_locks_per_relation then
+      promote_owner_relation t owner state rel
+  end
+
+let lock_tuple t ~owner ~rel ~key ~page =
+  let state = owner_state t owner in
+  if
+    Target_table.mem state.held (Relation rel)
+    || Target_table.mem state.held (Page (rel, page))
+  then ()
+  else begin
+    let target = Tuple (rel, key) in
+    if grant t owner state target then begin
+      let tuples =
+        match Hashtbl.find_opt state.tuples_by_page (rel, page) with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.add state.tuples_by_page (rel, page) l;
+            l
+      in
+      tuples := target :: !tuples;
+      if List.length !tuples > t.config.max_tuple_locks_per_page then begin
+        t.promotions <- t.promotions + 1;
+        lock_page t ~owner ~rel ~page
+      end
+    end
+  end
+
+(* Promote all of the owner's index-page locks on [index] to a whole-index
+   lock. *)
+let promote_owner_index t owner state index =
+  t.promotions <- t.promotions + 1;
+  (match Hashtbl.find_opt state.pages_by_index index with
+  | None -> ()
+  | Some pages ->
+      List.iter (fun p -> forget t owner state (Index_page (index, p))) !pages;
+      Hashtbl.remove state.pages_by_index index);
+  ignore (grant t owner state (Index_rel index))
+
+(* Next-key gap locks share the per-index promotion budget with page
+   locks: too many fine index locks promote to a whole-index lock. *)
+let note_index_fine t owner state index target =
+  ignore target;
+  let fine =
+    match Hashtbl.find_opt state.pages_by_index index with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.add state.pages_by_index index l;
+        l
+  in
+  fine := -1 :: !fine;
+  if List.length !fine > t.config.max_page_locks_per_index then begin
+    (* Drop all fine-grained locks on this index (we do not track their
+       identities individually here; scan the owner's held set). *)
+    t.promotions <- t.promotions + 1;
+    let stale = ref [] in
+    Target_table.iter
+      (fun tg () ->
+        match tg with
+        | Index_page (i, _) | Index_key (i, _) -> if i = index then stale := tg :: !stale
+        | Index_inf i -> if i = index then stale := tg :: !stale
+        | Relation _ | Page _ | Tuple _ | Index_rel _ -> ())
+      state.held;
+    List.iter (forget t owner state) !stale;
+    Hashtbl.remove state.pages_by_index index;
+    ignore (grant t owner state (Index_rel index))
+  end
+
+let lock_index_key t ~owner ~index ~key =
+  let state = owner_state t owner in
+  if Target_table.mem state.held (Index_rel index) then ()
+  else if grant t owner state (Index_key (index, key)) then
+    note_index_fine t owner state index (Index_key (index, key))
+
+let lock_index_inf t ~owner ~index =
+  let state = owner_state t owner in
+  if Target_table.mem state.held (Index_rel index) then ()
+  else ignore (grant t owner state (Index_inf index))
+
+let lock_index_page t ~owner ~index ~page =
+  let state = owner_state t owner in
+  if Target_table.mem state.held (Index_rel index) then ()
+  else if grant t owner state (Index_page (index, page)) then begin
+    let pages =
+      match Hashtbl.find_opt state.pages_by_index index with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.add state.pages_by_index index l;
+          l
+    in
+    pages := page :: !pages;
+    if List.length !pages > t.config.max_page_locks_per_index then
+      promote_owner_index t owner state index
+  end
+
+let unlock_tuple t ~owner ~rel ~key =
+  match Hashtbl.find_opt t.owners owner with
+  | None -> ()
+  | Some state ->
+      let target = Tuple (rel, key) in
+      if Target_table.mem state.held target then begin
+        forget t owner state target;
+        (* Also forget it in the per-page lists (linear, lists are short by
+           construction: promotion caps them). *)
+        Hashtbl.iter
+          (fun _ targets ->
+            targets :=
+              List.filter
+                (fun tg ->
+                  match tg with
+                  | Tuple (r, k) -> not (r = rel && Value.equal k key)
+                  | Relation _ | Page _ | Index_page _ | Index_key _ | Index_inf _
+                  | Index_rel _ ->
+                      true)
+                !targets)
+          state.tuples_by_page
+      end
+
+type readers = { xids : xid list; old_committed : cseq option }
+
+let collect t targets =
+  (* Coarsest to finest, per §5.2.1. *)
+  let xids = ref [] and old_c = ref None in
+  List.iter
+    (fun target ->
+      match Target_table.find_opt t.table target with
+      | None -> ()
+      | Some e ->
+          List.iter (fun o -> if not (List.mem o !xids) then xids := o :: !xids) e.holders;
+          (match (e.old_committed, !old_c) with
+          | Some c, Some c' -> if c > c' then old_c := Some c
+          | Some c, None -> old_c := Some c
+          | None, _ -> ()))
+    targets;
+  { xids = List.rev !xids; old_committed = !old_c }
+
+let readers_for_write t ~rel ~key ~page =
+  collect t [ Relation rel; Page (rel, page); Tuple (rel, key) ]
+
+let readers_for_index_insert t ~index ~page =
+  collect t [ Index_rel index; Index_page (index, page) ]
+
+let readers_for_index_insert_nextkey t ~index ~key ~succ =
+  let gap =
+    match succ with Some s -> Index_key (index, s) | None -> Index_inf index
+  in
+  collect t [ Index_rel index; Index_key (index, key); gap ]
+
+let release_owner t owner =
+  match Hashtbl.find_opt t.owners owner with
+  | None -> ()
+  | Some state ->
+      Target_table.iter
+        (fun target () ->
+          match Target_table.find_opt t.table target with
+          | None -> ()
+          | Some e ->
+              e.holders <- List.filter (fun o -> o <> owner) e.holders;
+              maybe_drop_entry t target e)
+        state.held;
+      Hashtbl.remove t.owners owner
+
+let summarize_owner t owner ~cseq =
+  match Hashtbl.find_opt t.owners owner with
+  | None -> ()
+  | Some state ->
+      Target_table.iter
+        (fun target () ->
+          match Target_table.find_opt t.table target with
+          | None -> ()
+          | Some e ->
+              e.holders <- List.filter (fun o -> o <> owner) e.holders;
+              e.old_committed <-
+                (match e.old_committed with
+                | Some c when c >= cseq -> Some c
+                | Some _ | None -> Some cseq))
+        state.held;
+      Hashtbl.remove t.owners owner
+
+let cleanup_old_committed t ~before =
+  let stale = ref [] in
+  Target_table.iter
+    (fun target (e : entry) ->
+      match e.old_committed with
+      | Some c when c < before -> stale := (target, e) :: !stale
+      | Some _ | None -> ())
+    t.table;
+  List.iter
+    (fun (target, (e : entry)) ->
+      e.old_committed <- None;
+      maybe_drop_entry t target e)
+    !stale
+
+let on_index_page_split t ~index ~old_page ~new_page =
+  match Target_table.find_opt t.table (Index_page (index, old_page)) with
+  | None -> ()
+  | Some e ->
+      let holders = e.holders and old_c = e.old_committed in
+      List.iter
+        (fun owner ->
+          let state = owner_state t owner in
+          lock_index_page t ~owner ~index ~page:new_page;
+          ignore state)
+        holders;
+      if old_c <> None then begin
+        let e' = entry_of t (Index_page (index, new_page)) in
+        e'.old_committed <-
+          (match (e'.old_committed, old_c) with
+          | Some a, Some b -> Some (max a b)
+          | None, c -> c
+          | c, None -> c)
+      end
+
+let promote_relation t ~rel =
+  (* Every owner's page/tuple locks on [rel] become a relation lock; the
+     dummy owner's become a dummy relation-level lock. *)
+  let owners_to_promote = ref [] in
+  Hashtbl.iter
+    (fun owner state ->
+      let has_fine =
+        Hashtbl.mem state.pages_by_rel rel
+        || Hashtbl.fold
+             (fun (r, _) targets acc -> acc || (r = rel && !targets <> []))
+             state.tuples_by_page false
+      in
+      if has_fine then owners_to_promote := (owner, state) :: !owners_to_promote)
+    t.owners;
+  List.iter (fun (owner, state) -> promote_owner_relation t owner state rel) !owners_to_promote;
+  (* Dummy-owner fine-grained locks on rel. *)
+  let dummy_cseq = ref None in
+  let stale = ref [] in
+  Target_table.iter
+    (fun target (e : entry) ->
+      let matches =
+        match target with
+        | Page (r, _) | Tuple (r, _) -> r = rel
+        | Relation _ | Index_page _ | Index_key _ | Index_inf _ | Index_rel _ -> false
+      in
+      if matches then
+        match e.old_committed with
+        | Some c ->
+            (dummy_cseq :=
+               match !dummy_cseq with Some c' -> Some (max c c') | None -> Some c);
+            stale := (target, e) :: !stale
+        | None -> ())
+    t.table;
+  List.iter
+    (fun (target, (e : entry)) ->
+      e.old_committed <- None;
+      maybe_drop_entry t target e)
+    !stale;
+  match !dummy_cseq with
+  | None -> ()
+  | Some c ->
+      let e = entry_of t (Relation rel) in
+      e.old_committed <-
+        (match e.old_committed with Some c' -> Some (max c c') | None -> Some c)
+
+let drop_index_to_relation t ~index ~heap_rel =
+  let affected_owners = ref [] in
+  let dummy_cseq = ref None in
+  let stale = ref [] in
+  Target_table.iter
+    (fun target (e : entry) ->
+      let matches =
+        match target with
+        | Index_page (i, _) | Index_key (i, _) | Index_inf i | Index_rel i -> i = index
+        | Relation _ | Page _ | Tuple _ -> false
+      in
+      if matches then begin
+        List.iter
+          (fun o -> if not (List.mem o !affected_owners) then affected_owners := o :: !affected_owners)
+          e.holders;
+        (match e.old_committed with
+        | Some c ->
+            dummy_cseq := (match !dummy_cseq with Some c' -> Some (max c c') | None -> Some c)
+        | None -> ());
+        stale := target :: !stale
+      end)
+    t.table;
+  List.iter
+    (fun owner ->
+      match Hashtbl.find_opt t.owners owner with
+      | None -> ()
+      | Some state ->
+          List.iter (forget t owner state) !stale;
+          Hashtbl.remove state.pages_by_index index;
+          ignore (grant t owner state (Relation heap_rel)))
+    !affected_owners;
+  List.iter
+    (fun target ->
+      match Target_table.find_opt t.table target with
+      | None -> ()
+      | Some e ->
+          e.old_committed <- None;
+          maybe_drop_entry t target e)
+    !stale;
+  match !dummy_cseq with
+  | None -> ()
+  | Some c ->
+      let e = entry_of t (Relation heap_rel) in
+      e.old_committed <-
+        (match e.old_committed with Some c' -> Some (max c c') | None -> Some c)
+
+let dump t =
+  Target_table.fold
+    (fun target (e : entry) acc -> (target, e.holders, e.old_committed) :: acc)
+    t.table []
+
+let owner_lock_count t owner =
+  match Hashtbl.find_opt t.owners owner with
+  | None -> 0
+  | Some state -> Target_table.length state.held
+
+let total_lock_count t =
+  Target_table.fold
+    (fun _ (e : entry) acc ->
+      acc + List.length e.holders + (match e.old_committed with Some _ -> 1 | None -> 0))
+    t.table 0
+
+let promotions t = t.promotions

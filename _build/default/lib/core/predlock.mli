@@ -1,0 +1,133 @@
+(** The SSI lock manager: SIREAD predicate locks (paper §5.2).
+
+    This lock manager stores only SIREAD locks.  It has no modes and cannot
+    block; its two operations are "record that a transaction read
+    something" and "find who read what a transaction is about to write".
+    Locks are held at tuple, heap-page, relation, index-leaf-page, or
+    whole-index granularity, and fine-grained locks are automatically
+    {e promoted} to coarser ones when a transaction accumulates too many
+    (§5.2.1, §6 technique 2).
+
+    Locks survive their owner's commit; the SSI manager above decides when
+    they may be released (§6.1) or consolidated into the {e old committed}
+    dummy owner during summarization (§6.2).  Locks held by the dummy owner
+    carry the commit sequence number of the most recent summarized holder.
+
+    The lock manager also implements the DDL interactions of §5.2.1
+    ({!promote_relation} for table rewrites, {!drop_index_to_relation} for
+    index removal) and lock transfer on index-page splits. *)
+
+open Ssi_storage
+
+type xid = Heap.xid
+type cseq = Ssi_mvcc.Mvcc.cseq
+
+type target =
+  | Relation of string
+  | Page of string * int
+  | Tuple of string * Value.t
+  | Index_page of string * int
+  | Index_key of string * Value.t
+      (** Next-key gap lock: covers the gap below (and the entries at)
+          this index key — the refinement to ARIES/KVL-style next-key
+          locking the paper names as future work (§5.2.1). *)
+  | Index_inf of string
+      (** The gap above the highest key of the index. *)
+  | Index_rel of string
+      (** Whole-index lock, used by promotion and by index access methods
+          that do not support predicate locking (§7.4). *)
+
+val pp_target : Format.formatter -> target -> unit
+
+type config = {
+  max_tuple_locks_per_page : int;
+      (** Tuple locks one owner may hold on one heap page before they are
+          promoted to a page lock. *)
+  max_page_locks_per_relation : int;
+      (** Heap-page locks one owner may hold on one relation before they
+          are promoted to a relation lock. *)
+  max_page_locks_per_index : int;
+      (** Index-page locks one owner may hold on one index before they are
+          promoted to a whole-index lock. *)
+}
+
+val default_config : config
+(** 4 tuple locks per page, 16 page locks per relation or index. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+(** {1 Acquisition} *)
+
+val lock_tuple : t -> owner:xid -> rel:string -> key:Value.t -> page:int -> unit
+val lock_page : t -> owner:xid -> rel:string -> page:int -> unit
+val lock_relation : t -> owner:xid -> rel:string -> unit
+val lock_index_page : t -> owner:xid -> index:string -> page:int -> unit
+val lock_index_key : t -> owner:xid -> index:string -> key:Value.t -> unit
+val lock_index_inf : t -> owner:xid -> index:string -> unit
+val lock_index_rel : t -> owner:xid -> index:string -> unit
+
+val unlock_tuple : t -> owner:xid -> rel:string -> key:Value.t -> unit
+(** Drop one tuple lock if held: the "writer already holds the tuple write
+    lock" optimization of §7.3.  A no-op when the lock was promoted away. *)
+
+(** {1 Conflict checking} *)
+
+type readers = {
+  xids : xid list;  (** live/committed owners holding a covering SIREAD lock *)
+  old_committed : cseq option;
+      (** when the dummy owner holds one, the latest commit cseq recorded *)
+}
+
+val readers_for_write : t -> rel:string -> key:Value.t -> page:int -> readers
+(** Who read the tuple being written — checked coarsest to finest:
+    relation, then page, then tuple (§5.2.1). *)
+
+val readers_for_index_insert : t -> index:string -> page:int -> readers
+(** Who scanned the index gap an entry is being inserted into
+    (page-granularity mode). *)
+
+val readers_for_index_insert_nextkey :
+  t -> index:string -> key:Value.t -> succ:Value.t option -> readers
+(** Next-key mode: who holds a gap lock covering an insert at [key] —
+    readers of [key] itself, of its successor key (the gap the new entry
+    splits), or of the above-highest gap when there is no successor. *)
+
+(** {1 Lifecycle} *)
+
+val release_owner : t -> xid -> unit
+(** Drop every lock of [owner] (abort, safe-snapshot detach, or cleanup). *)
+
+val summarize_owner : t -> xid -> cseq:cseq -> unit
+(** Transfer [owner]'s locks to the dummy owner, recording [cseq] (the
+    owner's commit sequence number) on each. *)
+
+val cleanup_old_committed : t -> before:cseq -> unit
+(** Drop dummy-owner locks whose recorded cseq precedes [before]. *)
+
+(** {1 Structural maintenance} *)
+
+val on_index_page_split : t -> index:string -> old_page:int -> new_page:int -> unit
+(** Copy every lock on the old leaf page to the new one, so gap coverage
+    survives B+-tree splits. *)
+
+val promote_relation : t -> rel:string -> unit
+(** A rewriting DDL statement invalidated physical locations: promote all
+    page and tuple locks on [rel] to relation granularity. *)
+
+val drop_index_to_relation : t -> index:string -> heap_rel:string -> unit
+(** The index was dropped: replace index locks with a relation lock on the
+    underlying heap relation. *)
+
+(** {1 Introspection} *)
+
+val dump : t -> (target * xid list * cseq option) list
+(** Every lock-table entry: target, live holders, and the dummy owner's
+    recorded cseq if present — the pg_locks view of the SIREAD table. *)
+
+val owner_lock_count : t -> xid -> int
+val total_lock_count : t -> int
+val holds : t -> owner:xid -> target -> bool
+val promotions : t -> int
+(** Number of granularity promotions performed so far. *)

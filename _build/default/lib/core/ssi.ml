@@ -1,0 +1,655 @@
+open Ssi_storage
+open Ssi_util
+module Mvcc = Ssi_mvcc.Mvcc
+
+type cseq = Mvcc.cseq
+
+let invalid_cseq = Mvcc.invalid_cseq
+
+exception Serialization_failure of { xid : Heap.xid; reason : string }
+
+type config = {
+  max_committed_sxacts : int;
+  read_only_opt : bool;
+  predlock : Predlock.config;
+}
+
+let default_config =
+  { max_committed_sxacts = 64; read_only_opt = true; predlock = Predlock.default_config }
+
+type status = Active | Prepared | Committed | Aborted
+
+type node = {
+  xid : Heap.xid;
+  snap_cseq : cseq;
+  declared_read_only : bool;
+  deferrable : bool;
+  mutable status : status;
+  mutable doomed : bool;
+  mutable wrote : bool;
+  mutable commit_cseq : cseq;
+  mutable in_conflicts : node list;  (** readers r with r --rw--> me *)
+  mutable out_conflicts : node list;  (** writers w with me --rw--> w *)
+  mutable cached_earliest_out : cseq;
+      (** min commit cseq over my committed out-conflict targets, retained
+          even after those targets are cleaned up (§6.1) *)
+  mutable summarized_in_max : cseq;
+      (** max commit cseq over summarized committed readers with an edge
+          into me; 0 when none (§6.2) *)
+  mutable conservative_in : bool;  (** after crash recovery of 2PC (§7.1) *)
+  mutable conservative_out : bool;
+  (* Read-only safety (§4.2): *)
+  mutable concurrent_rw : node list;  (** rw transactions active at my snapshot *)
+  mutable unsafe : bool;
+  mutable safe : bool;
+  mutable safety_known : bool;
+  mutable ro_watchers : node list;  (** read-only transactions watching me *)
+  safety_wq : Waitq.t;
+}
+
+type stats = {
+  mutable conflicts_flagged : int;
+  mutable dooms : int;
+  mutable failures_raised : int;
+  mutable summarized : int;
+  mutable safe_snapshots : int;
+  mutable cleanups : int;
+}
+
+(* Summarized committed transactions: commit cseq plus the earliest commit
+   cseq among their out-conflict targets ([invalid_cseq] when none).  This
+   stands in for PostgreSQL's disk-backed oldserxid SLRU. *)
+type old_entry = { old_commit : cseq; old_earliest_out : cseq }
+
+type t = {
+  clog : Mvcc.Clog.t;
+  locks : Predlock.t;
+  config : config;
+  by_xid : (Heap.xid, node) Hashtbl.t;
+  mutable active : node list;  (** Active and Prepared *)
+  committed : node Queue.t;  (** retained committed nodes, commit order *)
+  oldserxid : (Heap.xid, old_entry) Hashtbl.t;
+  stats : stats;
+}
+
+let create ?(config = default_config) clog =
+  {
+    clog;
+    locks = Predlock.create ~config:config.predlock ();
+    config;
+    by_xid = Hashtbl.create 64;
+    active = [];
+    committed = Queue.create ();
+    oldserxid = Hashtbl.create 64;
+    stats =
+      {
+        conflicts_flagged = 0;
+        dooms = 0;
+        failures_raised = 0;
+        summarized = 0;
+        safe_snapshots = 0;
+        cleanups = 0;
+      };
+  }
+
+let locks t = t.locks
+let stats t = t.stats
+let xid_of n = n.xid
+let snap_cseq_of n = n.snap_cseq
+let is_doomed n = n.doomed
+let is_read_only n = n.declared_read_only
+let is_safe n = n.safe
+let safety_determined n = n.safety_known
+let is_unsafe n = n.unsafe
+let safety_waitq n = n.safety_wq
+let active_count t = List.length t.active
+let committed_retained t = Queue.length t.committed
+let oldserxid_size t = Hashtbl.length t.oldserxid
+
+let fail t node reason =
+  t.stats.failures_raised <- t.stats.failures_raised + 1;
+  raise (Serialization_failure { xid = node.xid; reason })
+
+let check_doomed node =
+  if node.doomed then
+    raise
+      (Serialization_failure
+         { xid = node.xid; reason = "transaction doomed by a concurrent conflict" })
+
+(* "Read-only" in the theorems' sense: declared as such, or known to have
+   committed without writing (§4.1). *)
+let ro_in_theory n = n.declared_read_only || (n.status = Committed && not n.wrote)
+
+let is_committed n = n.status = Committed
+let commit_cseq_or_inf n = if n.status = Committed then n.commit_cseq else invalid_cseq
+
+let effective_earliest_out n = if n.conservative_out then 0 else n.cached_earliest_out
+
+(* ---- Dangerous-structure test ------------------------------------------ *)
+
+(* T1 in a structure T1 --rw--> T2 --rw--> T3, where T3 is known only by its
+   commit cseq (via the pivot's earliest committed out-conflict, which is
+   exact for existence because all the conditions are monotone in T3's
+   cseq). *)
+type t1_view = T1_node of node | T1_committed_at of cseq
+
+(* The structure is dangerous when T3 committed first (commit-ordering
+   optimization, §3.3.1 — uncommitted transactions compare as +inf) and,
+   when T1 is read-only, T3 additionally committed before T1's snapshot
+   (Theorem 3, §4.1).  T1 and T3 may be the same transaction (a length-2
+   cycle, Figure 3a); commit sequence numbers are unique, so equality on
+   the T1 side means exactly that case and must count as "T3 first". *)
+let dangerous t ~t1 ~t2 ~t3_cseq =
+  let c1, ro1, snap1 =
+    match t1 with
+    | T1_node n -> (commit_cseq_or_inf n, ro_in_theory n, n.snap_cseq)
+    | T1_committed_at c -> (c, false, 0)
+  in
+  let c2 = commit_cseq_or_inf t2 in
+  t3_cseq <= c1 && t3_cseq < c2
+  && ((not (t.config.read_only_opt && ro1)) || t3_cseq < snap1)
+
+(* ---- Victim selection (§5.4, §7.1) -------------------------------------- *)
+
+let doom t victim =
+  if not victim.doomed then begin
+    victim.doomed <- true;
+    t.stats.dooms <- t.stats.dooms + 1
+  end
+
+let abortable n = (n.status = Active) && not n.doomed
+
+(* Resolve a dangerous structure: prefer the pivot T2, then T1; never a
+   committed or prepared transaction.  If the victim is the acting
+   transaction, raise; otherwise doom it and let the actor proceed. *)
+let victimize t ~actor ~t1 ~t2 ~reason =
+  if abortable t2 && t2.status <> Prepared then
+    if t2 == actor then fail t actor reason else doom t t2
+  else
+    match t1 with
+    | Some u when abortable u && u.status <> Prepared ->
+        if u == actor then fail t actor reason else doom t u
+    | Some _ | None ->
+        (* No abortable T1/T2 (e.g. prepared pivot, committed reader): the
+           actor must give way (§7.1: safe retry can be lost here). *)
+        fail t actor reason
+
+(* ---- Pivot checks -------------------------------------------------------- *)
+
+(* After T2 gained a new in-edge from [r], test whether T2 is now a pivot of
+   a dangerous structure r --rw--> t2 --rw--> T3 for some committed T3. *)
+let check_pivot_in t ~actor ~r ~t2 =
+  let eo = effective_earliest_out t2 in
+  if eo <> invalid_cseq && dangerous t ~t1:(T1_node r) ~t2 ~t3_cseq:eo then
+    victimize t ~actor ~t1:(Some r) ~t2 ~reason:"pivot gained rw-antidependency in"
+
+(* After [r] gained a new out-edge to a transaction committed at [t3_cseq],
+   test whether r is now a pivot t1 --rw--> r --rw--> T3. *)
+let check_pivot_out t ~actor ~r ~t3_cseq =
+  if t3_cseq <> invalid_cseq then begin
+    if r.summarized_in_max > 0
+       && dangerous t ~t1:(T1_committed_at r.summarized_in_max) ~t2:r ~t3_cseq
+    then victimize t ~actor ~t1:None ~t2:r ~reason:"pivot with summarized reader";
+    if r.conservative_in && dangerous t ~t1:(T1_committed_at (invalid_cseq - 1)) ~t2:r ~t3_cseq
+    then victimize t ~actor ~t1:None ~t2:r ~reason:"pivot with recovered prepared reader";
+    List.iter
+      (fun t1 ->
+        if (not t1.doomed) && t1.status <> Aborted
+           && dangerous t ~t1:(T1_node t1) ~t2:r ~t3_cseq
+        then victimize t ~actor ~t1:(Some t1) ~t2:r ~reason:"pivot gained rw-antidependency out")
+      r.in_conflicts
+  end
+
+(* ---- Conflict recording -------------------------------------------------- *)
+
+let note_out_target_committed r c =
+  if c < r.cached_earliest_out then r.cached_earliest_out <- c
+
+(* Record reader --rw--> writer between two known nodes and run the
+   detection-time dangerous-structure checks. *)
+let flag_conflict t ~actor ~reader ~writer =
+  if
+    reader != writer
+    && (not reader.doomed) && (not writer.doomed)
+    && reader.status <> Aborted && writer.status <> Aborted
+    && not (List.memq writer reader.out_conflicts)
+  then begin
+    reader.out_conflicts <- writer :: reader.out_conflicts;
+    writer.in_conflicts <- reader :: writer.in_conflicts;
+    t.stats.conflicts_flagged <- t.stats.conflicts_flagged + 1;
+    if is_committed writer then note_out_target_committed reader writer.commit_cseq;
+    (* writer as pivot: reader --rw--> writer --rw--> T3. *)
+    check_pivot_in t ~actor ~r:reader ~t2:writer;
+    (* reader as pivot: T1 --rw--> reader --rw--> writer (writer = T3). *)
+    if is_committed writer then
+      check_pivot_out t ~actor ~r:reader ~t3_cseq:writer.commit_cseq
+  end
+
+let note_write node =
+  node.wrote <- true
+
+(* ---- Read-only safety (§4.2) --------------------------------------------- *)
+
+let remove_ro_watcher w r = w.ro_watchers <- List.filter (fun n -> n != r) w.ro_watchers
+
+let drop_tracking t r =
+  (* A safe transaction can never be part of a dangerous structure: drop
+     its SIREAD locks and its conflict edges. *)
+  Predlock.release_owner t.locks r.xid;
+  List.iter (fun w -> w.in_conflicts <- List.filter (fun n -> n != r) w.in_conflicts)
+    r.out_conflicts;
+  r.out_conflicts <- []
+
+let finalize_safety t r =
+  if not r.safety_known then begin
+    r.safety_known <- true;
+    if not r.unsafe then begin
+      r.safe <- true;
+      t.stats.safe_snapshots <- t.stats.safe_snapshots + 1;
+      drop_tracking t r
+    end;
+    Waitq.wake_all r.safety_wq
+  end
+
+(* [w] (a potential writer concurrent with read-only [r]) resolved. *)
+let ro_watch_resolved t r w ~committed =
+  r.concurrent_rw <- List.filter (fun n -> n != w) r.concurrent_rw;
+  if r.safety_known then ()
+  else begin
+    if committed && w.wrote && effective_earliest_out w < r.snap_cseq then begin
+      (* w committed with a rw-antidependency out to a transaction that
+         committed before r's snapshot: the snapshot is unsafe. *)
+      r.unsafe <- true;
+      (* Deferrable transactions retry immediately; plain read-only
+         transactions simply keep full SSI tracking. *)
+      if r.deferrable then begin
+        List.iter (fun other -> remove_ro_watcher other r) r.concurrent_rw;
+        r.concurrent_rw <- [];
+        finalize_safety t r
+      end
+    end;
+    if r.concurrent_rw = [] then finalize_safety t r
+  end
+
+(* ---- Registration -------------------------------------------------------- *)
+
+let register t ~xid ~snap_cseq ~read_only ~deferrable =
+  let node =
+    {
+      xid;
+      snap_cseq;
+      declared_read_only = read_only;
+      deferrable;
+      status = Active;
+      doomed = false;
+      wrote = false;
+      commit_cseq = invalid_cseq;
+      in_conflicts = [];
+      out_conflicts = [];
+      cached_earliest_out = invalid_cseq;
+      summarized_in_max = 0;
+      conservative_in = false;
+      conservative_out = false;
+      concurrent_rw = [];
+      unsafe = false;
+      safe = false;
+      safety_known = false;
+      ro_watchers = [];
+      safety_wq = Waitq.create ();
+    }
+  in
+  Hashtbl.replace t.by_xid xid node;
+  if read_only && t.config.read_only_opt then begin
+    let rw =
+      List.filter
+        (fun n -> (not n.declared_read_only) && (n.status = Active || n.status = Prepared))
+        t.active
+    in
+    node.concurrent_rw <- rw;
+    if rw = [] then finalize_safety t node
+    else List.iter (fun w -> w.ro_watchers <- node :: w.ro_watchers) rw
+  end;
+  t.active <- node :: t.active;
+  node
+
+(* ---- Reads ---------------------------------------------------------------- *)
+
+let read_tuple t node ~rel ~key ~page =
+  if not node.safe then Predlock.lock_tuple t.locks ~owner:node.xid ~rel ~key ~page
+
+let read_relation t node ~rel =
+  if not node.safe then Predlock.lock_relation t.locks ~owner:node.xid ~rel
+
+let read_index_gap t node ~index ~page =
+  if not node.safe then Predlock.lock_index_page t.locks ~owner:node.xid ~index ~page
+
+let read_index_key t node ~index ~key =
+  if not node.safe then Predlock.lock_index_key t.locks ~owner:node.xid ~index ~key
+
+let read_index_inf t node ~index =
+  if not node.safe then Predlock.lock_index_inf t.locks ~owner:node.xid ~index
+
+let read_index_rel t node ~index =
+  if not node.safe then Predlock.lock_index_rel t.locks ~owner:node.xid ~index
+
+let conflict_out t node ~writer =
+  if (not node.safe) && writer <> node.xid then
+    match Hashtbl.find_opt t.by_xid writer with
+    | Some w -> flag_conflict t ~actor:node ~reader:node ~writer:w
+    | None -> (
+        match Hashtbl.find_opt t.oldserxid writer with
+        | None -> () (* writer was not serializable *)
+        | Some { old_commit; old_earliest_out } ->
+            t.stats.conflicts_flagged <- t.stats.conflicts_flagged + 1;
+            note_out_target_committed node old_commit;
+            (* Summarized writer as pivot: node --rw--> W --rw--> T3 with
+               T3 at W's recorded earliest out-conflict (§6.2). *)
+            if old_earliest_out <> invalid_cseq then begin
+              let w_committed_first =
+                old_earliest_out < old_commit
+                && ((not (t.config.read_only_opt && ro_in_theory node))
+                   || old_earliest_out < node.snap_cseq)
+              in
+              if w_committed_first then
+                fail t node "conflict out to summarized pivot"
+            end;
+            (* node as pivot with T3 = summarized writer. *)
+            check_pivot_out t ~actor:node ~r:node ~t3_cseq:old_commit)
+
+let forget_own_tuple_lock t node ~rel ~key ~in_subtransaction =
+  (* §7.3: inside a subtransaction the write lock would vanish on rollback
+     to a savepoint, so the SIREAD lock must be kept. *)
+  if not in_subtransaction then Predlock.unlock_tuple t.locks ~owner:node.xid ~rel ~key
+
+(* ---- Writes ---------------------------------------------------------------- *)
+
+let conflict_in_readers t node readers =
+  let { Predlock.xids; old_committed } = readers in
+  List.iter
+    (fun rxid ->
+      if rxid <> node.xid then
+        match Hashtbl.find_opt t.by_xid rxid with
+        | None -> () (* lock of a cleaned-up owner: stale, ignore *)
+        | Some r ->
+            (* Only concurrent readers matter: a reader that committed
+               before the writer's snapshot precedes it outright. *)
+            if not (is_committed r && r.commit_cseq < node.snap_cseq) then
+              flag_conflict t ~actor:node ~reader:r ~writer:node)
+    xids;
+  match old_committed with
+  | Some c when c >= node.snap_cseq ->
+      t.stats.conflicts_flagged <- t.stats.conflicts_flagged + 1;
+      if c > node.summarized_in_max then node.summarized_in_max <- c;
+      (* Summarized committed reader --rw--> node --rw--> T3? *)
+      let eo = effective_earliest_out node in
+      if eo <> invalid_cseq && dangerous t ~t1:(T1_committed_at c) ~t2:node ~t3_cseq:eo
+      then victimize t ~actor:node ~t1:None ~t2:node ~reason:"pivot with summarized reader"
+  | Some _ | None -> ()
+
+let write_check t node ~rel ~key ~page =
+  note_write node;
+  conflict_in_readers t node (Predlock.readers_for_write t.locks ~rel ~key ~page)
+
+let index_insert_check t node ~index ~page =
+  conflict_in_readers t node (Predlock.readers_for_index_insert t.locks ~index ~page)
+
+let index_insert_check_nextkey t node ~index ~key ~succ =
+  conflict_in_readers t node
+    (Predlock.readers_for_index_insert_nextkey t.locks ~index ~key ~succ)
+
+(* ---- Cleanup and summarization (§6) ---------------------------------------- *)
+
+let min_active_snap t =
+  List.fold_left
+    (fun acc n ->
+      match n.status with Active | Prepared -> min acc n.snap_cseq | Committed | Aborted -> acc)
+    invalid_cseq t.active
+
+let unlink_node n =
+  List.iter (fun w -> w.in_conflicts <- List.filter (fun x -> x != n) w.in_conflicts)
+    n.out_conflicts;
+  List.iter (fun r -> r.out_conflicts <- List.filter (fun x -> x != n) r.out_conflicts)
+    n.in_conflicts;
+  n.out_conflicts <- [];
+  n.in_conflicts <- []
+
+let summarize_oldest t =
+  match Queue.take_opt t.committed with
+  | None -> ()
+  | Some c ->
+      t.stats.summarized <- t.stats.summarized + 1;
+      Predlock.summarize_owner t.locks c.xid ~cseq:c.commit_cseq;
+      Hashtbl.replace t.oldserxid c.xid
+        { old_commit = c.commit_cseq; old_earliest_out = effective_earliest_out c };
+      (* Writers that summarized committed readers had read from keep a
+         conservative record of the conflict (§6.2, first case). *)
+      List.iter
+        (fun w ->
+          if c.commit_cseq > w.summarized_in_max then w.summarized_in_max <- c.commit_cseq)
+        c.out_conflicts;
+      unlink_node c;
+      Hashtbl.remove t.by_xid c.xid
+
+let cleanup t =
+  t.stats.cleanups <- t.stats.cleanups + 1;
+  let horizon = min_active_snap t in
+  (* Aggressive cleanup (§6.1): a committed transaction's state is dead once
+     no active transaction is concurrent with it. *)
+  let rec drain () =
+    match Queue.peek_opt t.committed with
+    | Some c when c.commit_cseq < horizon ->
+        ignore (Queue.pop t.committed);
+        Predlock.release_owner t.locks c.xid;
+        unlink_node c;
+        Hashtbl.remove t.by_xid c.xid;
+        drain ()
+    | Some _ | None -> ()
+  in
+  drain ();
+  (* Read-only-only optimization (§6.1): when every active transaction is
+     read-only, committed transactions' SIREAD locks and in-conflict lists
+     can go — no future write can create a conflict with them. *)
+  let only_read_only =
+    t.active <> []
+    && List.for_all
+         (fun n ->
+           match n.status with
+           | Active | Prepared -> n.declared_read_only
+           | Committed | Aborted -> true)
+         t.active
+  in
+  if only_read_only || t.active = [] then
+    Queue.iter
+      (fun c ->
+        Predlock.release_owner t.locks c.xid;
+        List.iter
+          (fun r -> r.out_conflicts <- List.filter (fun x -> x != c) r.out_conflicts)
+          c.in_conflicts;
+        c.in_conflicts <- [])
+      t.committed;
+  (* Summarization (§6.2): bound the number of retained committed nodes. *)
+  while Queue.length t.committed > t.config.max_committed_sxacts do
+    summarize_oldest t
+  done;
+  Predlock.cleanup_old_committed t.locks ~before:horizon;
+  if Hashtbl.length t.oldserxid > 0 then begin
+    let stale =
+      Hashtbl.fold
+        (fun xid e acc -> if e.old_commit < horizon then xid :: acc else acc)
+        t.oldserxid []
+    in
+    List.iter (Hashtbl.remove t.oldserxid) stale
+  end
+
+(* ---- Commit / abort --------------------------------------------------------- *)
+
+(* The §5.4 commit-time check, with the transaction as each of the three
+   roles it could play. *)
+let precommit t node =
+  check_doomed node;
+  (* As pivot T2 committing while T3 already committed first. *)
+  check_pivot_out t ~actor:node ~r:node ~t3_cseq:(effective_earliest_out node);
+  (* As T3, the first committer of a dangerous structure: doom the pivot. *)
+  List.iter
+    (fun t2 ->
+      match t2.status with
+      | Committed | Aborted -> ()
+      | Active | Prepared ->
+          if not t2.doomed then begin
+            let dangerous_t1 t1 =
+              t1 == node
+              || (match t1.status with
+                 | Committed | Aborted -> false
+                 | Active | Prepared ->
+                     (not t1.doomed)
+                     && not (t.config.read_only_opt && t1.declared_read_only))
+            in
+            let found = t2.conservative_in || List.exists dangerous_t1 t2.in_conflicts in
+            if found then
+              if t2.status = Prepared then begin
+                (* Cannot abort a prepared pivot (§7.1): fall back to T1. *)
+                let t1s = List.filter dangerous_t1 t2.in_conflicts in
+                let abortable_t1s =
+                  List.filter (fun t1 -> t1 != node && t1.status = Active) t1s
+                in
+                if t1s = [] || List.length abortable_t1s < List.length t1s then
+                  (* Conservative flag, the committer itself, or a prepared
+                     T1: no way to break the structure by dooming — the
+                     committer must give way. *)
+                  fail t node "dangerous structure with prepared pivot"
+                else List.iter (doom t) abortable_t1s
+              end
+              else doom t t2
+          end)
+    node.in_conflicts
+
+let prepare t node =
+  check_doomed node;
+  precommit t node;
+  node.status <- Prepared
+
+let committed t node ~commit_cseq =
+  node.status <- Committed;
+  node.commit_cseq <- commit_cseq;
+  (* My readers' earliest committed out-conflict may now be me. *)
+  List.iter (fun r -> note_out_target_committed r commit_cseq) node.in_conflicts;
+  (* Read-only safety propagation. *)
+  List.iter (fun r -> ro_watch_resolved t r node ~committed:true) node.ro_watchers;
+  node.ro_watchers <- [];
+  (* If this transaction was itself read-only and still watching others,
+     detach. *)
+  List.iter (fun w -> remove_ro_watcher w node) node.concurrent_rw;
+  node.concurrent_rw <- [];
+  t.active <- List.filter (fun n -> n != node) t.active;
+  if node.safe then begin
+    (* Never tracked; nothing to retain. *)
+    Hashtbl.remove t.by_xid node.xid;
+    cleanup t
+  end
+  else begin
+    Queue.add node t.committed;
+    cleanup t
+  end
+
+let aborted t node =
+  node.status <- Aborted;
+  unlink_node node;
+  Predlock.release_owner t.locks node.xid;
+  List.iter (fun r -> ro_watch_resolved t r node ~committed:false) node.ro_watchers;
+  node.ro_watchers <- [];
+  List.iter (fun w -> remove_ro_watcher w node) node.concurrent_rw;
+  node.concurrent_rw <- [];
+  t.active <- List.filter (fun n -> n != node) t.active;
+  Hashtbl.remove t.by_xid node.xid;
+  cleanup t
+
+(* ---- Introspection -------------------------------------------------------------- *)
+
+type node_info = {
+  info_xid : Heap.xid;
+  info_status : string;
+  info_doomed : bool;
+  info_read_only : bool;
+  info_safe : bool;
+  info_commit_cseq : cseq option;
+  info_in : Heap.xid list;
+  info_out : Heap.xid list;
+}
+
+let node_info n =
+  {
+    info_xid = n.xid;
+    info_status =
+      (match n.status with
+      | Active -> "active"
+      | Prepared -> "prepared"
+      | Committed -> "committed"
+      | Aborted -> "aborted");
+    info_doomed = n.doomed;
+    info_read_only = n.declared_read_only;
+    info_safe = n.safe;
+    info_commit_cseq = (if n.status = Committed then Some n.commit_cseq else None);
+    info_in = List.map (fun x -> x.xid) n.in_conflicts;
+    info_out = List.map (fun x -> x.xid) n.out_conflicts;
+  }
+
+let dump_graph t =
+  let committed = List.of_seq (Queue.to_seq t.committed) in
+  List.map node_info (t.active @ committed)
+
+let graph_dot t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph ssi {\n  rankdir=LR;\n";
+  List.iter
+    (fun info ->
+      Buffer.add_string buf
+        (Printf.sprintf "  t%d [label=\"T%d\\n%s%s\"%s];\n" info.info_xid info.info_xid
+           info.info_status
+           (if info.info_doomed then " (doomed)" else "")
+           (if info.info_doomed then " color=red" else ""));
+      List.iter
+        (fun w ->
+          Buffer.add_string buf
+            (Printf.sprintf "  t%d -> t%d [label=\"rw\"];\n" info.info_xid w))
+        info.info_out)
+    (dump_graph t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* ---- DDL / recovery ----------------------------------------------------------- *)
+
+let on_ddl_rewrite t ~rel = Predlock.promote_relation t.locks ~rel
+let on_index_drop t ~index ~heap_rel = Predlock.drop_index_to_relation t.locks ~index ~heap_rel
+
+let on_index_page_split t ~index ~old_page ~new_page =
+  Predlock.on_index_page_split t.locks ~index ~old_page ~new_page
+
+let recover t =
+  let prepared, others =
+    List.partition (fun n -> n.status = Prepared) t.active
+  in
+  List.iter
+    (fun n ->
+      n.status <- Aborted;
+      Predlock.release_owner t.locks n.xid;
+      Hashtbl.remove t.by_xid n.xid)
+    others;
+  Queue.iter
+    (fun c ->
+      Predlock.release_owner t.locks c.xid;
+      Hashtbl.remove t.by_xid c.xid)
+    t.committed;
+  Queue.clear t.committed;
+  Predlock.cleanup_old_committed t.locks ~before:invalid_cseq;
+  t.active <- prepared;
+  (* Prepared transactions survive with their SIREAD locks, but the
+     dependency graph is gone: assume conflicts both in and out (§7.1). *)
+  List.iter
+    (fun p ->
+      p.in_conflicts <- [];
+      p.out_conflicts <- [];
+      p.conservative_in <- true;
+      p.conservative_out <- true;
+      p.ro_watchers <- [];
+      p.concurrent_rw <- [])
+    prepared

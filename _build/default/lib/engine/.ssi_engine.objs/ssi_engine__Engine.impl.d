@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Array Format Hashtbl Heap List Option Printf Schema Seq Ssi_btree Ssi_core Ssi_lockmgr Ssi_mvcc Ssi_storage Ssi_util Value Waitq

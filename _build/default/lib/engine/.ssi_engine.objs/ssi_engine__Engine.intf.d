@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Format Heap Schema Ssi_core Ssi_storage Ssi_util Value

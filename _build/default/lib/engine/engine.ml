@@ -1,0 +1,1125 @@
+open Ssi_storage
+open Ssi_util
+module Mvcc = Ssi_mvcc.Mvcc
+module Clog = Mvcc.Clog
+module Snapshot = Mvcc.Snapshot
+module Visibility = Mvcc.Visibility
+module Ssi = Ssi_core.Ssi
+module Btree = Ssi_btree.Btree
+module Lockmgr = Ssi_lockmgr.Lockmgr
+
+type isolation = Read_committed | Repeatable_read | Serializable | Serializable_2pl
+
+let pp_isolation ppf iso =
+  Format.pp_print_string ppf
+    (match iso with
+    | Read_committed -> "READ COMMITTED"
+    | Repeatable_read -> "REPEATABLE READ"
+    | Serializable -> "SERIALIZABLE"
+    | Serializable_2pl -> "SERIALIZABLE (2PL)")
+
+exception Serialization_failure = Ssi.Serialization_failure
+exception Duplicate_key of { table : string; key : Value.t }
+exception Read_only_transaction
+
+type costs = {
+  cpu_per_op : float;
+  cpu_per_tuple : float;
+  cpu_per_lock : float;
+  io_per_page : float;
+  miss_ratio : float;
+  io_commit : float;
+}
+
+let zero_costs =
+  {
+    cpu_per_op = 0.;
+    cpu_per_tuple = 0.;
+    cpu_per_lock = 0.;
+    io_per_page = 0.;
+    miss_ratio = 0.;
+    io_commit = 0.;
+  }
+
+type wal_op =
+  | Wal_insert of { table : string; key : Value.t; row : Value.t array }
+  | Wal_update of { table : string; key : Value.t; row : Value.t array }
+  | Wal_delete of { table : string; key : Value.t }
+
+type commit_record = {
+  wal_xid : Heap.xid;
+  wal_cseq : int;
+  wal_ops : wal_op list;
+  wal_safe_point : bool;
+}
+
+type config = {
+  ssi : Ssi.config;
+  tuples_per_page : int;
+  btree_order : int;
+  next_key_gaps : bool;
+  costs : costs;
+  charge_cpu : (float -> unit) option;
+  charge_io : (float -> unit) option;
+}
+
+let default_config =
+  {
+    ssi = Ssi.default_config;
+    tuples_per_page = 64;
+    btree_order = 32;
+    next_key_gaps = false;
+    costs = zero_costs;
+    charge_cpu = None;
+    charge_io = None;
+  }
+
+type stats = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable serialization_failures : int;
+  mutable write_conflicts : int;
+  mutable deadlocks : int;
+  mutable retries : int;
+}
+
+type index_s = {
+  idx_name : string;
+  table_name : string;
+  col : int;
+  tree : Btree.t;
+  pred_locks : bool;
+  next_key : bool;  (** next-key gap locks instead of leaf-page locks *)
+}
+
+type table_s = { heap : Heap.t; pk_index : index_s; mutable secondary : index_s list }
+
+type t = {
+  clog : Clog.t;
+  ssi_mgr : Ssi.t;
+  locks : Lockmgr.t;
+  tables : (string, table_s) Hashtbl.t;
+  idx_by_name : (string, index_s) Hashtbl.t;
+  active : (Heap.xid, txn) Hashtbl.t;  (** running and prepared transactions *)
+  prepared_by_gid : (string, txn) Hashtbl.t;
+  sched : Waitq.scheduler;
+  cfg : config;
+  stats : stats;
+  mutable on_commit : (commit_record -> unit) option;
+  mutable tracer : (string -> unit) option;
+}
+
+and txn = {
+  db : t;
+  txn_xid : Heap.xid;
+  iso : isolation;
+  ro : bool;
+  mutable snapshot : Snapshot.t;
+  sxact : Ssi.node option;
+  mutable finished : bool;
+  mutable prepared_gid : string option;
+  mutable undo : undo_entry list;  (** stack, newest first *)
+  mutable wal : wal_op list;  (** reversed *)
+  mutable savepoints : (string * int * int) list;
+      (** name, undo length, wal length — newest first *)
+  mutable subdepth : int;
+  mutable write_waiting_for : Heap.xid option;
+      (** the transaction whose tuple write lock this one is waiting on *)
+  commit_wq : Waitq.t;  (** woken when this transaction commits or aborts *)
+}
+
+and undo_entry =
+  | U_new_version of table_s * Value.t
+  | U_index_entry of index_s * Value.t * Value.t
+  | U_set_xmax of Heap.tuple
+
+let create ?(scheduler = Waitq.direct) ?(config = default_config) () =
+  let clog = Clog.create () in
+  {
+    clog;
+    ssi_mgr = Ssi.create ~config:config.ssi clog;
+    locks = Lockmgr.create scheduler;
+    tables = Hashtbl.create 16;
+    idx_by_name = Hashtbl.create 16;
+    active = Hashtbl.create 64;
+    prepared_by_gid = Hashtbl.create 8;
+    sched = scheduler;
+    cfg = config;
+    stats =
+      {
+        commits = 0;
+        aborts = 0;
+        serialization_failures = 0;
+        write_conflicts = 0;
+        deadlocks = 0;
+        retries = 0;
+      };
+    on_commit = None;
+    tracer = None;
+  }
+
+let set_on_commit t f = t.on_commit <- Some f
+
+let set_tracer t f =
+  t.tracer <- f;
+  Lockmgr.set_tracer t.locks f
+
+let trace db fmt =
+  match db.tracer with
+  | None -> Printf.ifprintf () fmt
+  | Some f -> Printf.ksprintf f fmt
+let stats t = t.stats
+
+let reset_stats t =
+  let s = t.stats in
+  s.commits <- 0;
+  s.aborts <- 0;
+  s.serialization_failures <- 0;
+  s.write_conflicts <- 0;
+  s.deadlocks <- 0;
+  s.retries <- 0
+
+let ssi_stats t = Ssi.stats t.ssi_mgr
+let ssi t = t.ssi_mgr
+let active_transactions t = Hashtbl.length t.active
+let table_names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
+
+
+(* ---- Cost accounting ----------------------------------------------------- *)
+
+let charge_cpu db x =
+  if x > 0. then match db.cfg.charge_cpu with Some f -> f x | None -> db.sched.charge x
+
+let charge_io db x =
+  if x > 0. then match db.cfg.charge_io with Some f -> f x | None -> db.sched.charge x
+
+let finish_op db ~tuples ~locks ~pages =
+  let c = db.cfg.costs in
+  charge_cpu db
+    (c.cpu_per_op
+    +. (float_of_int tuples *. c.cpu_per_tuple)
+    +. (float_of_int locks *. c.cpu_per_lock));
+  charge_io db (float_of_int pages *. c.miss_ratio *. c.io_per_page)
+
+(* ---- Schema --------------------------------------------------------------- *)
+
+let table_of db name =
+  match Hashtbl.find_opt db.tables name with
+  | Some tbl -> tbl
+  | None -> invalid_arg ("Engine: unknown table " ^ name)
+
+let table_schema t ~table = Heap.schema (table_of t table).heap
+
+let table_indexes t ~table =
+  let tbl = table_of t table in
+  let schema = Heap.schema tbl.heap in
+  let col i = (Schema.columns schema).(i.col) in
+  (tbl.pk_index.idx_name, col tbl.pk_index)
+  :: List.map (fun i -> (i.idx_name, col i)) tbl.secondary
+
+let hook_split db index =
+  Btree.set_on_split index.tree (fun ~old_page ~new_page ->
+      Ssi.on_index_page_split db.ssi_mgr ~index:index.idx_name ~old_page ~new_page)
+
+let create_table db ~name ~cols ~key =
+  if Hashtbl.mem db.tables name then invalid_arg ("Engine.create_table: duplicate " ^ name);
+  let schema = Schema.make ~name ~cols ~key in
+  let heap = Heap.create ~tuples_per_page:db.cfg.tuples_per_page schema in
+  let pk_name = name ^ "_pkey" in
+  let pk_index =
+    {
+      idx_name = pk_name;
+      table_name = name;
+      col = Schema.key_index schema;
+      tree = Btree.create ~order:db.cfg.btree_order ~name:pk_name ();
+      pred_locks = true;
+      next_key = db.cfg.next_key_gaps;
+    }
+  in
+  let tbl = { heap; pk_index; secondary = [] } in
+  hook_split db pk_index;
+  Hashtbl.add db.tables name tbl;
+  Hashtbl.add db.idx_by_name pk_name pk_index
+
+let create_index db ~table ~name ~column ?(predicate_locks = true) ?next_key_gaps () =
+  let tbl = table_of db table in
+  if Hashtbl.mem db.idx_by_name name then invalid_arg ("Engine.create_index: duplicate " ^ name);
+  let col = Schema.column_index (Heap.schema tbl.heap) column in
+  let index =
+    {
+      idx_name = name;
+      table_name = table;
+      col;
+      tree = Btree.create ~order:db.cfg.btree_order ~name ();
+      pred_locks = predicate_locks;
+      next_key = Option.value next_key_gaps ~default:db.cfg.next_key_gaps;
+    }
+  in
+  hook_split db index;
+  (* Backfill from every existing version so old versions stay reachable. *)
+  Heap.iter_heads tbl.heap (fun head ->
+      Seq.iter
+        (fun (v : Heap.tuple) -> ignore (Btree.insert index.tree ~key:v.row.(col) ~pk:v.key))
+        (Heap.versions head));
+  tbl.secondary <- index :: tbl.secondary;
+  Hashtbl.add db.idx_by_name name index
+
+let drop_index db ~name =
+  match Hashtbl.find_opt db.idx_by_name name with
+  | None -> invalid_arg ("Engine.drop_index: unknown index " ^ name)
+  | Some index ->
+      let tbl = table_of db index.table_name in
+      if index == tbl.pk_index then invalid_arg "Engine.drop_index: cannot drop primary key";
+      tbl.secondary <- List.filter (fun i -> i != index) tbl.secondary;
+      Hashtbl.remove db.idx_by_name name;
+      (* §5.2.1: index-gap locks are replaced with a relation-level lock on
+         the heap. *)
+      Ssi.on_index_drop db.ssi_mgr ~index:name ~heap_rel:index.table_name
+
+let recluster db ~table =
+  let tbl = table_of db table in
+  Heap.rewrite tbl.heap;
+  (* Physical locations changed: promote page/tuple SIREAD locks (§5.2.1). *)
+  Ssi.on_ddl_rewrite db.ssi_mgr ~rel:table
+
+(* ---- Transaction lifecycle ------------------------------------------------- *)
+
+let xid txn = txn.txn_xid
+let isolation_of txn = txn.iso
+let is_finished txn = txn.finished
+
+let snapshot_is_safe txn =
+  match txn.sxact with Some node -> Ssi.is_safe node | None -> false
+
+let make_txn db ~iso ~ro ~xid ~snapshot ~sxact =
+  let txn =
+    {
+      db;
+      txn_xid = xid;
+      iso;
+      ro;
+      snapshot;
+      sxact;
+      finished = false;
+      prepared_gid = None;
+      undo = [];
+      wal = [];
+      savepoints = [];
+      subdepth = 0;
+      write_waiting_for = None;
+      commit_wq = Waitq.create ();
+    }
+  in
+  Hashtbl.add db.active xid txn;
+  txn
+
+let rec begin_deferrable db =
+  (* §4.3: acquire a snapshot but block until it is known safe; on an
+     unsafe verdict, throw the snapshot away and retry with a new one. *)
+  let xid = Clog.new_xid db.clog in
+  let snapshot = Snapshot.take db.clog ~owner:xid in
+  let node =
+    Ssi.register db.ssi_mgr ~xid ~snap_cseq:snapshot.Snapshot.horizon ~read_only:true
+      ~deferrable:true
+  in
+  while not (Ssi.safety_determined node) do
+    db.sched.suspend (Ssi.safety_waitq node)
+  done;
+  if Ssi.is_safe node then
+    make_txn db ~iso:Serializable ~ro:true ~xid ~snapshot ~sxact:(Some node)
+  else begin
+    Ssi.aborted db.ssi_mgr node;
+    Clog.abort db.clog xid;
+    begin_deferrable db
+  end
+
+let begin_txn ?(isolation = Serializable) ?(read_only = false) ?(deferrable = false) db =
+  if deferrable then begin
+    if not (read_only && isolation = Serializable) then
+      invalid_arg "Engine.begin_txn: DEFERRABLE requires READ ONLY SERIALIZABLE";
+    if not db.cfg.ssi.Ssi.read_only_opt then
+      invalid_arg "Engine.begin_txn: DEFERRABLE requires the read-only optimizations";
+    begin_deferrable db
+  end
+  else begin
+    let xid = Clog.new_xid db.clog in
+    let snapshot = Snapshot.take db.clog ~owner:xid in
+    let sxact =
+      match isolation with
+      | Serializable ->
+          Some
+            (Ssi.register db.ssi_mgr ~xid ~snap_cseq:snapshot.Snapshot.horizon
+               ~read_only ~deferrable:false)
+      | Read_committed | Repeatable_read | Serializable_2pl -> None
+    in
+    make_txn db ~iso:isolation ~ro:read_only ~xid ~snapshot ~sxact
+  end
+
+(* The SSI hooks are live only while the transaction is tracked: plain
+   snapshot-isolation transactions and safe-snapshot read-only transactions
+   have no (active) sxact. *)
+let tracking txn =
+  match txn.sxact with Some node when not (Ssi.is_safe node) -> Some node | _ -> None
+
+let ensure_running txn =
+  if txn.finished then invalid_arg "Engine: transaction already finished";
+  if txn.prepared_gid <> None then invalid_arg "Engine: transaction is prepared";
+  match txn.sxact with Some node -> Ssi.check_doomed node | None -> ()
+
+let start_op txn =
+  ensure_running txn;
+  (* Per-statement snapshots: READ COMMITTED semantics, and the way the
+     2PL baseline sees the latest committed data once its locks are held. *)
+  match txn.iso with
+  | Read_committed | Serializable_2pl ->
+      txn.snapshot <- Snapshot.take txn.db.clog ~owner:txn.txn_xid
+  | Repeatable_read | Serializable -> ()
+
+let ensure_writable txn = if txn.ro then raise Read_only_transaction
+
+let is_2pl txn = txn.iso = Serializable_2pl
+
+(* Per-statement-snapshot modes must re-take their snapshot after any
+   blocking lock acquisition: the snapshot must reflect the commits the
+   granted lock now protects against, or a 2PL reader would see stale data
+   (and TPC-C order-id allocation would hand out duplicates). *)
+let refresh_stmt_snapshot txn =
+  match txn.iso with
+  | Read_committed | Serializable_2pl ->
+      txn.snapshot <- Snapshot.take txn.db.clog ~owner:txn.txn_xid
+  | Repeatable_read | Serializable -> ()
+
+(* ---- Undo ------------------------------------------------------------------- *)
+
+let apply_undo_entry = function
+  | U_new_version (tbl, key) -> Heap.unlink_head tbl.heap key
+  | U_index_entry (idx, ikey, pk) -> ignore (Btree.delete idx.tree ~key:ikey ~pk)
+  | U_set_xmax tuple -> Heap.set_xmax tuple Heap.invalid_xid
+
+let rollback_to_length txn ~undo_len ~wal_len =
+  let rec drop_until l =
+    if List.length l > undo_len then (
+      match l with
+      | [] -> l
+      | e :: rest ->
+          apply_undo_entry e;
+          drop_until rest)
+    else l
+  in
+  txn.undo <- drop_until txn.undo;
+  let rec drop_wal l = if List.length l > wal_len then drop_wal (List.tl l) else l in
+  txn.wal <- drop_wal txn.wal
+
+(* ---- Savepoints (§7.3) -------------------------------------------------------- *)
+
+let savepoint txn name =
+  ensure_running txn;
+  txn.savepoints <- (name, List.length txn.undo, List.length txn.wal) :: txn.savepoints;
+  txn.subdepth <- txn.subdepth + 1
+
+let find_savepoint txn name =
+  let rec loop acc = function
+    | [] -> None
+    | ((n, _, _) as sp) :: rest ->
+        if n = name then Some (List.rev acc, sp, rest) else loop (sp :: acc) rest
+  in
+  loop [] txn.savepoints
+
+let rollback_to_savepoint txn name =
+  ensure_running txn;
+  match find_savepoint txn name with
+  | None -> invalid_arg ("Engine: no such savepoint " ^ name)
+  | Some (newer, ((_, undo_len, wal_len) as sp), older) ->
+      (* Nested savepoints established after [name] are destroyed; [name]
+         itself survives (SQL semantics). *)
+      txn.subdepth <- txn.subdepth - List.length newer;
+      txn.savepoints <- sp :: older;
+      rollback_to_length txn ~undo_len ~wal_len
+
+let release_savepoint txn name =
+  ensure_running txn;
+  match find_savepoint txn name with
+  | None -> invalid_arg ("Engine: no such savepoint " ^ name)
+  | Some (newer, _, older) ->
+      txn.subdepth <- txn.subdepth - (List.length newer + 1);
+      txn.savepoints <- older
+
+(* ---- Waiting for writers ------------------------------------------------------ *)
+
+(* Suspend until transaction [other] (which holds a tuple write lock we
+   ran into) commits or aborts.  Tuple-lock waits can cycle (two
+   transactions updating the same rows in opposite orders), so — like
+   PostgreSQL, whose tuple-lock conflicts go through the heavyweight lock
+   manager precisely for its deadlock detector (§5.1) — we check the
+   waits-for chain before suspending and fail the requester on a cycle. *)
+let wait_for_xid txn other =
+  match Hashtbl.find_opt txn.db.active other with
+  | None -> () (* already resolved *)
+  | Some holder ->
+      let rec cycles_back t steps =
+        if steps > 1024 then false
+        else
+          match t.write_waiting_for with
+          | None -> false
+          | Some next ->
+              next = txn.txn_xid
+              || (match Hashtbl.find_opt txn.db.active next with
+                 | None -> false
+                 | Some t' -> cycles_back t' (steps + 1))
+      in
+      if cycles_back holder 0 then begin
+        txn.db.stats.deadlocks <- txn.db.stats.deadlocks + 1;
+        raise (Serialization_failure { xid = txn.txn_xid; reason = "deadlock detected" })
+      end;
+      txn.write_waiting_for <- Some other;
+      (try txn.db.sched.suspend holder.commit_wq
+       with e ->
+         txn.write_waiting_for <- None;
+         raise e);
+      txn.write_waiting_for <- None;
+      refresh_stmt_snapshot txn;
+      (* Re-check doom: the conflict that resolved may have chosen us. *)
+      ensure_running txn
+
+let in_progress db x = match Clog.status db.clog x with Clog.In_progress -> true | _ -> false
+
+(* The newest version of a row whose creator did not abort, with all
+   in-progress writers (creator or deleter) awaited first. *)
+let rec live_head txn tbl key =
+  match Heap.head tbl.heap key with
+  | None -> None
+  | Some head ->
+      let rec newest (v : Heap.tuple) =
+        match Clog.status txn.db.clog v.xmin with
+        | Clog.Aborted -> ( match v.prev with None -> None | Some older -> newest older)
+        | Clog.In_progress when v.xmin <> txn.txn_xid -> Some (`Wait v.xmin)
+        | Clog.In_progress | Clog.Committed _ -> Some (`Head v)
+      in
+      (match newest head with
+      | None -> None
+      | Some (`Wait x) ->
+          wait_for_xid txn x;
+          live_head txn tbl key
+      | Some (`Head v) ->
+          if v.xmax <> Heap.invalid_xid && v.xmax <> txn.txn_xid && in_progress txn.db v.xmax
+          then begin
+            wait_for_xid txn v.xmax;
+            live_head txn tbl key
+          end
+          else Some v)
+
+(* ---- Shared read path ----------------------------------------------------------- *)
+
+let conflict_out_many node db xs = List.iter (fun w -> Ssi.conflict_out db.ssi_mgr node ~writer:w) xs
+
+(* Probe the primary-key index for gap protection, then walk the version
+   chain.  Returns the visible version, recording SSI conflicts and
+   acquiring SIREAD / 2PL locks along the way. *)
+(* Acquire the SIREAD gap locks for an index probe.  Page mode locks every
+   examined leaf page; next-key mode locks the distinct keys returned plus
+   the successor of the probe's upper bound, which covers every gap the
+   scan observed (§5.2.1 "next-key locking" future work). *)
+let ssi_lock_index_gaps db node idx ~hi ~keys ~pages =
+  if idx.next_key then begin
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun k ->
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.add seen k ();
+          Ssi.read_index_key db.ssi_mgr node ~index:idx.idx_name ~key:k
+        end)
+      keys;
+    match Btree.next_key_after idx.tree hi with
+    | Some succ -> Ssi.read_index_key db.ssi_mgr node ~index:idx.idx_name ~key:succ
+    | None -> Ssi.read_index_inf db.ssi_mgr node ~index:idx.idx_name
+  end
+  else List.iter (fun p -> Ssi.read_index_gap db.ssi_mgr node ~index:idx.idx_name ~page:p) pages
+
+(* Under 2PL an index probe is only valid once shared locks on the visited
+   leaf pages are held: acquiring a lock can block, and by the time it is
+   granted the tree may have changed.  Rescan until every visited page was
+   already locked before the scan. *)
+let rec lock_index_probe txn idx ~probe =
+  let db = txn.db in
+  let pages = ref [] in
+  let result = probe ~pages in
+  let unheld =
+    List.filter
+      (fun p ->
+        not (Lockmgr.holds db.locks ~owner:txn.txn_xid (Lockmgr.Index_page (idx.idx_name, p))
+               Lockmgr.S))
+      !pages
+  in
+  if unheld = [] then (result, !pages)
+  else begin
+    List.iter
+      (fun p ->
+        Lockmgr.acquire db.locks ~owner:txn.txn_xid (Lockmgr.Index_page (idx.idx_name, p))
+          Lockmgr.S)
+      unheld;
+    lock_index_probe txn idx ~probe
+  end
+
+let fetch txn tbl key ~for_write =
+  let db = txn.db in
+  let rel = Heap.rel_name tbl.heap in
+  if is_2pl txn then begin
+    Lockmgr.acquire db.locks ~owner:txn.txn_xid (Lockmgr.Relation rel)
+      (if for_write then Lockmgr.IX else Lockmgr.IS);
+    ignore (lock_index_probe txn tbl.pk_index ~probe:(fun ~pages ->
+        Btree.lookup tbl.pk_index.tree key ~pages));
+    Lockmgr.acquire db.locks ~owner:txn.txn_xid (Lockmgr.Tuple (rel, key))
+      (if for_write then Lockmgr.X else Lockmgr.S);
+    refresh_stmt_snapshot txn
+  end
+  else begin
+    let pages = ref [] in
+    let hits = Btree.lookup tbl.pk_index.tree key ~pages in
+    match tracking txn with
+    | Some node ->
+        let keys = if hits = [] then [] else [ key ] in
+        ssi_lock_index_gaps db node tbl.pk_index ~hi:key ~keys ~pages:!pages
+    | None -> ()
+  end;
+  match Heap.head tbl.heap key with
+  | None -> None
+  | Some head -> (
+      let visible, conflicts = Visibility.latest_visible db.clog txn.snapshot head in
+      (match tracking txn with
+      | Some node -> conflict_out_many node db conflicts
+      | None -> ());
+      match visible with
+      | None -> None
+      | Some (v, deleter) ->
+          (match tracking txn with
+          | Some node ->
+              (match deleter with
+              | Some w -> Ssi.conflict_out db.ssi_mgr node ~writer:w
+              | None -> ());
+              Ssi.read_tuple db.ssi_mgr node ~rel ~key ~page:(Heap.page_of_tid v.tid)
+          | None -> ());
+          Some v)
+
+(* ---- Reads ------------------------------------------------------------------------ *)
+
+let map_lock_errors txn f =
+  try f ()
+  with Lockmgr.Deadlock { victim; _ } ->
+    txn.db.stats.deadlocks <- txn.db.stats.deadlocks + 1;
+    raise (Serialization_failure { xid = victim; reason = "deadlock detected" })
+
+let read txn ~table ~key =
+  start_op txn;
+  trace txn.db "x%d read %s/%s" txn.txn_xid table (Value.to_string key);
+  let tbl = table_of txn.db table in
+  let result =
+    map_lock_errors txn (fun () ->
+        match fetch txn tbl key ~for_write:false with
+        | None -> None
+        | Some v -> Some (Array.copy v.row))
+  in
+  finish_op txn.db ~tuples:1 ~locks:(if tracking txn <> None || is_2pl txn then 2 else 0) ~pages:2;
+  result
+
+let index_of db name =
+  match Hashtbl.find_opt db.idx_by_name name with
+  | Some i -> i
+  | None -> invalid_arg ("Engine: unknown index " ^ name)
+
+let index_scan txn ~table ~index ~lo ~hi =
+  start_op txn;
+  trace txn.db "x%d scan %s[%s..%s]" txn.txn_xid index (Value.to_string lo) (Value.to_string hi);
+  let db = txn.db in
+  let tbl = table_of db table in
+  let idx = index_of db index in
+  if idx.table_name <> table then invalid_arg "Engine.index_scan: index is on another table";
+  let rel = Heap.rel_name tbl.heap in
+  map_lock_errors txn (fun () ->
+      let entries, scan_pages =
+        if is_2pl txn then begin
+          Lockmgr.acquire db.locks ~owner:txn.txn_xid (Lockmgr.Relation rel) Lockmgr.IS;
+          let entries, pages =
+            lock_index_probe txn idx ~probe:(fun ~pages -> Btree.range idx.tree ~lo ~hi ~pages)
+          in
+          refresh_stmt_snapshot txn;
+          (entries, pages)
+        end
+        else begin
+          let pages = ref [] in
+          let entries = Btree.range idx.tree ~lo ~hi ~pages in
+          (match tracking txn with
+          | Some node ->
+              if idx.pred_locks then
+                ssi_lock_index_gaps db node idx ~hi ~keys:(List.map fst entries)
+                  ~pages:!pages
+              else Ssi.read_index_rel db.ssi_mgr node ~index
+          | None -> ());
+          (entries, !pages)
+        end
+      in
+      let tuples = ref 0 in
+      let rows =
+        List.filter_map
+          (fun (ikey, pk) ->
+            (* Under 2PL the tuple lock must precede the visibility check:
+               acquiring it can block, and the row must then be read as of
+               the post-wait state. *)
+            if is_2pl txn then begin
+              Lockmgr.acquire db.locks ~owner:txn.txn_xid (Lockmgr.Tuple (rel, pk)) Lockmgr.S;
+              refresh_stmt_snapshot txn
+            end;
+            match Heap.head tbl.heap pk with
+            | None -> None
+            | Some head -> (
+                incr tuples;
+                let visible, conflicts = Visibility.latest_visible db.clog txn.snapshot head in
+                (match tracking txn with
+                | Some node -> conflict_out_many node db conflicts
+                | None -> ());
+                match visible with
+                | None -> None
+                | Some (v, deleter) ->
+                    (* Entries of old versions may no longer describe the
+                       visible version: filter on the current value. *)
+                    if Value.equal v.row.(idx.col) ikey then begin
+                      (match tracking txn with
+                      | Some node ->
+                          (match deleter with
+                          | Some w -> Ssi.conflict_out db.ssi_mgr node ~writer:w
+                          | None -> ());
+                          Ssi.read_tuple db.ssi_mgr node ~rel ~key:pk
+                            ~page:(Heap.page_of_tid v.tid)
+                      | None -> ());
+                      Some (Array.copy v.row)
+                    end
+                    else None))
+          entries
+      in
+      finish_op db ~tuples:!tuples
+        ~locks:
+          (if tracking txn <> None || is_2pl txn then !tuples + List.length scan_pages else 0)
+        ~pages:(List.length scan_pages + !tuples);
+      rows)
+
+let seq_scan txn ~table ?(filter = fun _ -> true) () =
+  start_op txn;
+  trace txn.db "x%d seqscan %s" txn.txn_xid table;
+  let db = txn.db in
+  let tbl = table_of db table in
+  let rel = Heap.rel_name tbl.heap in
+  map_lock_errors txn (fun () ->
+      if is_2pl txn then begin
+        Lockmgr.acquire db.locks ~owner:txn.txn_xid (Lockmgr.Relation rel) Lockmgr.S;
+        refresh_stmt_snapshot txn
+      end;
+      (match tracking txn with
+      | Some node -> Ssi.read_relation db.ssi_mgr node ~rel
+      | None -> ());
+      let tuples = ref 0 in
+      let rows = ref [] in
+      Heap.iter_heads tbl.heap (fun head ->
+          incr tuples;
+          let visible, conflicts = Visibility.latest_visible db.clog txn.snapshot head in
+          (match tracking txn with
+          | Some node -> conflict_out_many node db conflicts
+          | None -> ());
+          match visible with
+          | None -> ()
+          | Some (v, deleter) ->
+              (match tracking txn with
+              | Some node -> (
+                  match deleter with
+                  | Some w -> Ssi.conflict_out db.ssi_mgr node ~writer:w
+                  | None -> ())
+              | None -> ());
+              if filter v.row then rows := Array.copy v.row :: !rows);
+      (* Read tracking is per tuple (visibility conflict-out checks), while
+         the 2PL baseline locks the whole relation once. *)
+      finish_op db ~tuples:!tuples
+        ~locks:(if tracking txn <> None then !tuples else if is_2pl txn then 1 else 0)
+        ~pages:(Heap.npages tbl.heap);
+      !rows)
+
+let row_count txn ~table = List.length (seq_scan txn ~table ())
+
+(* ---- Writes ------------------------------------------------------------------------- *)
+
+(* Add an index entry for a new tuple version, with the SSI conflict-in
+   check against gap readers, and record undo if the entry is new. *)
+let index_insert txn idx ~ikey ~pk =
+  let db = txn.db in
+  let page, added = Btree.insert idx.tree ~key:ikey ~pk in
+  (* An idempotent insert (the entry already existed, e.g. an update that
+     left the indexed column unchanged) fills no gap: no phantom is
+     possible and no conflict check or page lock is needed.  For a real
+     insert the undo entry must be recorded BEFORE the conflict check: the
+     check may raise, and the rollback must remove the physical entry. *)
+  if added then begin
+    txn.undo <- U_index_entry (idx, ikey, pk) :: txn.undo;
+    (match tracking txn with
+    | Some node ->
+        if idx.next_key then
+          Ssi.index_insert_check_nextkey db.ssi_mgr node ~index:idx.idx_name ~key:ikey
+            ~succ:(Btree.next_key_after idx.tree ikey)
+        else Ssi.index_insert_check db.ssi_mgr node ~index:idx.idx_name ~page
+    | None -> ());
+    if is_2pl txn then
+      Lockmgr.acquire db.locks ~owner:txn.txn_xid (Lockmgr.Index_page (idx.idx_name, page))
+        Lockmgr.X
+  end
+
+let all_indexes tbl = tbl.pk_index :: tbl.secondary
+
+let insert txn ~table row =
+  start_op txn;
+  trace txn.db "x%d insert %s/%s" txn.txn_xid table
+    (Value.to_string (Schema.key_of_row (Heap.schema (table_of txn.db table).heap) row));
+  ensure_writable txn;
+  let db = txn.db in
+  let tbl = table_of db table in
+  let schema = Heap.schema tbl.heap in
+  Schema.check_row schema row;
+  let key = Schema.key_of_row schema row in
+  map_lock_errors txn (fun () ->
+      if is_2pl txn then begin
+        Lockmgr.acquire db.locks ~owner:txn.txn_xid (Lockmgr.Relation table) Lockmgr.IX;
+        Lockmgr.acquire db.locks ~owner:txn.txn_xid (Lockmgr.Tuple (table, key)) Lockmgr.X;
+        refresh_stmt_snapshot txn
+      end;
+      (match live_head txn tbl key with
+      | None -> ()
+      | Some v ->
+          let deleted =
+            v.xmax <> Heap.invalid_xid
+            && (v.xmax = txn.txn_xid || Clog.is_committed db.clog v.xmax)
+          in
+          if not deleted then raise (Duplicate_key { table; key }));
+      let old_page =
+        match Heap.head tbl.heap key with
+        | Some h -> Some (Heap.page_of_tid h.Heap.tid)
+        | None -> None
+      in
+      let tuple = Heap.insert_version tbl.heap ~key ~row:(Array.copy row) ~xmin:txn.txn_xid in
+      txn.undo <- U_new_version (tbl, key) :: txn.undo;
+      (match tracking txn with
+      | Some node ->
+          Ssi.write_check db.ssi_mgr node ~rel:table ~key ~page:(Heap.page_of_tid tuple.tid);
+          (match old_page with
+          | Some p when p <> Heap.page_of_tid tuple.tid ->
+              Ssi.write_check db.ssi_mgr node ~rel:table ~key ~page:p
+          | Some _ | None -> ())
+      | None -> ());
+      List.iter
+        (fun idx -> index_insert txn idx ~ikey:(Array.copy row).(idx.col) ~pk:key)
+        (all_indexes tbl);
+      txn.wal <- Wal_insert { table; key; row = Array.copy row } :: txn.wal;
+      finish_op db ~tuples:1
+        ~locks:(if tracking txn <> None || is_2pl txn then 2 + List.length tbl.secondary else 0)
+        ~pages:(2 + List.length tbl.secondary))
+
+(* Shared write-side logic of update and delete: locate the visible
+   version, enforce first-updater-wins, and run the SSI conflict-in check.
+   Returns the version to supersede, or [None] when the row is absent. *)
+let rec locate_for_write txn tbl key =
+  let db = txn.db in
+  let rel = Heap.rel_name tbl.heap in
+  match fetch txn tbl key ~for_write:true with
+  | None -> None
+  | Some v ->
+      (* Wait for in-progress creators/deleters of newer state. *)
+      let retry_after_wait x =
+        wait_for_xid txn x;
+        (match txn.iso with
+        | Read_committed | Serializable_2pl ->
+            txn.snapshot <- Snapshot.take db.clog ~owner:txn.txn_xid
+        | Repeatable_read | Serializable -> ());
+        locate_for_write txn tbl key
+      in
+      let newest = live_head txn tbl key in
+      (match newest with
+      | None -> None (* everything above was aborted and v was too *)
+      | Some n ->
+          if n != v then begin
+            (* A newer committed version exists that our snapshot cannot
+               see: first-updater-wins. *)
+            match txn.iso with
+            | Read_committed ->
+                txn.snapshot <- Snapshot.take db.clog ~owner:txn.txn_xid;
+                locate_for_write txn tbl key
+            | Repeatable_read | Serializable | Serializable_2pl ->
+                db.stats.write_conflicts <- db.stats.write_conflicts + 1;
+                raise
+                  (Serialization_failure
+                     {
+                       xid = txn.txn_xid;
+                       reason = "could not serialize access due to concurrent update";
+                     })
+          end
+          else if v.xmax <> Heap.invalid_xid && v.xmax <> txn.txn_xid then begin
+            match Clog.status db.clog v.xmax with
+            | Clog.In_progress -> retry_after_wait v.xmax
+            | Clog.Committed _ -> (
+                match txn.iso with
+                | Read_committed ->
+                    txn.snapshot <- Snapshot.take db.clog ~owner:txn.txn_xid;
+                    locate_for_write txn tbl key
+                | Repeatable_read | Serializable | Serializable_2pl ->
+                    db.stats.write_conflicts <- db.stats.write_conflicts + 1;
+                    raise
+                      (Serialization_failure
+                         {
+                           xid = txn.txn_xid;
+                           reason = "could not serialize access due to concurrent update";
+                         }))
+            | Clog.Aborted ->
+                Heap.set_xmax v Heap.invalid_xid;
+                Some v
+          end
+          else Some v)
+  |> fun result ->
+  (match result with
+  | Some v ->
+      (match tracking txn with
+      | Some node ->
+          Ssi.write_check db.ssi_mgr node ~rel ~key ~page:(Heap.page_of_tid v.Heap.tid);
+          Ssi.forget_own_tuple_lock db.ssi_mgr node ~rel ~key
+            ~in_subtransaction:(txn.subdepth > 0)
+      | None -> ())
+  | None -> ());
+  result
+
+let update txn ~table ~key ~f =
+  start_op txn;
+  trace txn.db "x%d update %s/%s" txn.txn_xid table (Value.to_string key);
+  ensure_writable txn;
+  let db = txn.db in
+  let tbl = table_of db table in
+  map_lock_errors txn (fun () ->
+      match locate_for_write txn tbl key with
+      | None ->
+          finish_op db ~tuples:1 ~locks:1 ~pages:2;
+          false
+      | Some v ->
+          let schema = Heap.schema tbl.heap in
+          let row' = f (Array.copy v.row) in
+          Schema.check_row schema row';
+          if not (Value.equal (Schema.key_of_row schema row') key) then
+            invalid_arg "Engine.update: primary key must not change";
+          Heap.set_xmax v txn.txn_xid;
+          txn.undo <- U_set_xmax v :: txn.undo;
+          let tuple = Heap.insert_version tbl.heap ~key ~row:row' ~xmin:txn.txn_xid in
+          txn.undo <- U_new_version (tbl, key) :: txn.undo;
+          List.iter (fun idx -> index_insert txn idx ~ikey:row'.(idx.col) ~pk:key) (all_indexes tbl);
+          ignore tuple;
+          txn.wal <- Wal_update { table; key; row = Array.copy row' } :: txn.wal;
+          finish_op db ~tuples:2
+            ~locks:(if tracking txn <> None || is_2pl txn then 3 + List.length tbl.secondary else 0)
+            ~pages:(2 + List.length tbl.secondary);
+          true)
+
+let delete txn ~table ~key =
+  start_op txn;
+  trace txn.db "x%d delete %s/%s" txn.txn_xid table (Value.to_string key);
+  ensure_writable txn;
+  let db = txn.db in
+  let tbl = table_of db table in
+  map_lock_errors txn (fun () ->
+      match locate_for_write txn tbl key with
+      | None ->
+          finish_op db ~tuples:1 ~locks:1 ~pages:2;
+          false
+      | Some v ->
+          Heap.set_xmax v txn.txn_xid;
+          txn.undo <- U_set_xmax v :: txn.undo;
+          txn.wal <- Wal_delete { table; key } :: txn.wal;
+          finish_op db ~tuples:1
+            ~locks:(if tracking txn <> None || is_2pl txn then 2 else 0)
+            ~pages:1;
+          true)
+
+(* ---- Commit / abort -------------------------------------------------------------------- *)
+
+let finish_txn txn =
+  txn.finished <- true;
+  txn.prepared_gid <- None;
+  Hashtbl.remove txn.db.active txn.txn_xid;
+  Lockmgr.release_all txn.db.locks ~owner:txn.txn_xid;
+  Waitq.wake_all txn.commit_wq
+
+let serializable_rw_active db =
+  Hashtbl.fold
+    (fun _ t acc -> acc || (t.iso = Serializable && (not t.ro) && not t.finished))
+    db.active false
+
+let emit_wal db txn cseq =
+  match db.on_commit with
+  | None -> ()
+  | Some hook ->
+      let ops = List.rev txn.wal in
+      hook
+          {
+            wal_xid = txn.txn_xid;
+            wal_cseq = cseq;
+            wal_ops = ops;
+            wal_safe_point = not (serializable_rw_active db);
+          }
+
+let abort txn =
+  if not txn.finished then begin
+    let db = txn.db in
+    trace db "x%d abort" txn.txn_xid;
+    List.iter apply_undo_entry txn.undo;
+    txn.undo <- [];
+    txn.wal <- [];
+    Clog.abort db.clog txn.txn_xid;
+    (match txn.sxact with Some node -> Ssi.aborted db.ssi_mgr node | None -> ());
+    (match txn.prepared_gid with
+    | Some gid -> Hashtbl.remove db.prepared_by_gid gid
+    | None -> ());
+    finish_txn txn;
+    db.stats.aborts <- db.stats.aborts + 1
+  end
+
+let commit txn =
+  let db = txn.db in
+  (* A transaction doomed by another's conflict resolution fails here — and
+     must be rolled back before the failure is surfaced, or its write locks
+     would be orphaned. *)
+  (try
+     ensure_running txn;
+     match txn.sxact with Some node -> Ssi.precommit db.ssi_mgr node | None -> ()
+   with Serialization_failure _ as e ->
+     abort txn;
+     raise e);
+  let cseq = Clog.commit db.clog txn.txn_xid in
+  trace db "x%d commit cseq=%d" txn.txn_xid cseq;
+  (match txn.sxact with Some node -> Ssi.committed db.ssi_mgr node ~commit_cseq:cseq | None -> ());
+  finish_txn txn;
+  db.stats.commits <- db.stats.commits + 1;
+  emit_wal db txn cseq;
+  charge_io db db.cfg.costs.io_commit
+
+(* ---- Two-phase commit (§7.1) -------------------------------------------------------------- *)
+
+let prepare txn ~gid =
+  let db = txn.db in
+  if Hashtbl.mem db.prepared_by_gid gid then invalid_arg ("Engine.prepare: duplicate gid " ^ gid);
+  (try
+     ensure_running txn;
+     match txn.sxact with Some node -> Ssi.prepare db.ssi_mgr node | None -> ()
+   with Serialization_failure _ as e ->
+     abort txn;
+     raise e);
+  txn.prepared_gid <- Some gid;
+  Hashtbl.add db.prepared_by_gid gid txn
+
+let prepared_txn db gid =
+  match Hashtbl.find_opt db.prepared_by_gid gid with
+  | Some txn -> txn
+  | None -> invalid_arg ("Engine: no prepared transaction " ^ gid)
+
+let commit_prepared db ~gid =
+  let txn = prepared_txn db gid in
+  Hashtbl.remove db.prepared_by_gid gid;
+  let cseq = Clog.commit db.clog txn.txn_xid in
+  (match txn.sxact with Some node -> Ssi.committed db.ssi_mgr node ~commit_cseq:cseq | None -> ());
+  finish_txn txn;
+  db.stats.commits <- db.stats.commits + 1;
+  emit_wal db txn cseq;
+  charge_io db db.cfg.costs.io_commit
+
+let rollback_prepared db ~gid =
+  let txn = prepared_txn db gid in
+  txn.prepared_gid <- None;
+  Hashtbl.remove db.prepared_by_gid gid;
+  abort txn
+
+let prepared_gids db = Hashtbl.fold (fun gid _ acc -> gid :: acc) db.prepared_by_gid []
+
+let crash_recover db =
+  (* In-flight (non-prepared) transactions vanish: their effects are rolled
+     back and they are marked aborted.  Prepared transactions survive with
+     conservative SSI conflict flags. *)
+  let in_flight =
+    Hashtbl.fold
+      (fun _ txn acc -> if txn.prepared_gid = None then txn :: acc else acc)
+      db.active []
+  in
+  List.iter
+    (fun txn ->
+      List.iter apply_undo_entry txn.undo;
+      txn.undo <- [];
+      txn.wal <- [];
+      Clog.abort db.clog txn.txn_xid;
+      txn.finished <- true;
+      Hashtbl.remove db.active txn.txn_xid;
+      Lockmgr.release_all db.locks ~owner:txn.txn_xid;
+      Waitq.wake_all txn.commit_wq)
+    in_flight;
+  Ssi.recover db.ssi_mgr;
+  db.stats.aborts <- db.stats.aborts + List.length in_flight
+
+(* ---- Helpers -------------------------------------------------------------------------------- *)
+
+let with_txn ?isolation ?read_only ?deferrable db f =
+  let txn = begin_txn ?isolation ?read_only ?deferrable db in
+  match f txn with
+  | result ->
+      if not txn.finished then commit txn;
+      result
+  | exception e ->
+      abort txn;
+      raise e
+
+let retry ?isolation ?read_only ?deferrable ?(max_attempts = 100) db f =
+  let rec attempt n =
+    match with_txn ?isolation ?read_only ?deferrable db f with
+    | result -> result
+    | exception (Serialization_failure _ as e) ->
+        db.stats.serialization_failures <- db.stats.serialization_failures + 1;
+        if n >= max_attempts then raise e
+        else begin
+          db.stats.retries <- db.stats.retries + 1;
+          attempt (n + 1)
+        end
+  in
+  attempt 1
+
+(* ---- Maintenance ------------------------------------------------------------------------------ *)
+
+let dump_active db =
+  Hashtbl.fold
+    (fun x txn acc ->
+      let state =
+        Printf.sprintf
+          "xid=%d iso=%s ro=%b finished=%b prepared=%b waiting_for=%s undo=%d commit_wq=%d"
+          x
+          (Format.asprintf "%a" pp_isolation txn.iso)
+          txn.ro txn.finished
+          (txn.prepared_gid <> None)
+          (match txn.write_waiting_for with None -> "-" | Some w -> string_of_int w)
+          (List.length txn.undo)
+          (Waitq.id txn.commit_wq)
+      in
+      state :: acc)
+    db.active []
+
+let vacuum db =
+  let horizon =
+    Hashtbl.fold
+      (fun _ txn acc -> min acc txn.snapshot.Snapshot.horizon)
+      db.active (Clog.next_cseq db.clog)
+  in
+  Hashtbl.iter
+    (fun _ tbl ->
+      Heap.prune tbl.heap ~live:(fun (v : Heap.tuple) ->
+          match Clog.status db.clog v.xmin with
+          | Clog.Aborted -> false
+          | Clog.In_progress | Clog.Committed _ -> (
+              v.xmax = Heap.invalid_xid
+              ||
+              match Clog.status db.clog v.xmax with
+              | Clog.Committed c -> c >= horizon
+              | Clog.In_progress -> true
+              | Clog.Aborted -> true)))
+    db.tables

@@ -1,0 +1,236 @@
+(** The database engine: an in-memory multiversion relational store with
+    four isolation levels, reproducing PostgreSQL 9.1's concurrency
+    control as described in the paper.
+
+    {ul
+    {- [Read_committed]: snapshot per statement.}
+    {- [Repeatable_read]: snapshot isolation — one snapshot per transaction,
+       first-updater-wins write conflicts (PostgreSQL's pre-9.1
+       "SERIALIZABLE").}
+    {- [Serializable]: SSI — snapshot isolation plus rw-antidependency
+       tracking and dangerous-structure aborts (the paper's contribution).}
+    {- [Serializable_2pl]: the strict two-phase-locking baseline of §8,
+       built on the heavyweight lock manager with multigranularity and
+       index-range locks.}}
+
+    Transactions are cooperative: in simulation the engine suspends callers
+    that must wait (write-lock waits, S2PL lock waits, deferrable
+    admission) through the scheduler passed to {!create}; in direct
+    (non-simulated) use those situations raise [Waitq.Would_block].
+    SSI itself never blocks.
+
+    Every table implicitly maintains a primary-key B+-tree index
+    ("[<table>_pkey]"), which is what gives point reads and inserts
+    phantom protection via index-gap SIREAD locks. *)
+
+open Ssi_storage
+
+type isolation = Read_committed | Repeatable_read | Serializable | Serializable_2pl
+
+val pp_isolation : Format.formatter -> isolation -> unit
+
+exception Serialization_failure of { xid : Heap.xid; reason : string }
+(** The retryable error: SSI dangerous structures, snapshot-isolation
+    write conflicts ("could not serialize access due to concurrent
+    update"), and S2PL deadlocks all surface as this. *)
+
+exception Duplicate_key of { table : string; key : Value.t }
+exception Read_only_transaction
+(** Raised when a [~read_only:true] transaction attempts a write. *)
+
+(** Virtual-time costs, charged through the scheduler so that benchmarks
+    can model CPU-bound and disk-bound configurations.  All zero by
+    default (no charging). *)
+type costs = {
+  cpu_per_op : float;  (** base CPU per DML call *)
+  cpu_per_tuple : float;  (** per tuple version visited *)
+  cpu_per_lock : float;
+      (** per SIREAD lock / conflict check (SSI) or per heavyweight lock
+          (S2PL): the read-tracking overhead of §8.1 *)
+  io_per_page : float;  (** per buffer-cache miss *)
+  miss_ratio : float;  (** probability a page access misses the cache *)
+  io_commit : float;  (** WAL flush at commit *)
+}
+
+val zero_costs : costs
+
+(** A committed transaction's effects, as shipped to replicas (§7.2). *)
+type wal_op =
+  | Wal_insert of { table : string; key : Value.t; row : Value.t array }
+  | Wal_update of { table : string; key : Value.t; row : Value.t array }
+  | Wal_delete of { table : string; key : Value.t }
+
+type commit_record = {
+  wal_xid : Heap.xid;
+  wal_cseq : int;
+  wal_ops : wal_op list;
+  wal_safe_point : bool;
+      (** No read/write serializable transaction was active when this
+          commit completed: the post-commit state is a safe snapshot
+          (used by replicas, §7.2). *)
+}
+
+type config = {
+  ssi : Ssi_core.Ssi.config;
+  tuples_per_page : int;
+  btree_order : int;
+  next_key_gaps : bool;
+      (** Use next-key index-gap SIREAD locks instead of leaf-page locks —
+          the refinement the paper names as future work (§5.2.1).  Finer
+          gaps mean fewer false-positive conflicts. *)
+  costs : costs;
+  charge_cpu : (float -> unit) option;
+      (** Defaults to the scheduler's [charge]. *)
+  charge_io : (float -> unit) option;
+}
+
+val default_config : config
+
+type t
+type txn
+
+val create : ?scheduler:Ssi_util.Waitq.scheduler -> ?config:config -> unit -> t
+(** With no scheduler, the engine runs in direct mode: operations that
+    would block raise [Waitq.Would_block]. *)
+
+val set_on_commit : t -> (commit_record -> unit) -> unit
+(** Install the WAL-shipping hook (at most one; replication uses it). *)
+
+(** {1 Schema} *)
+
+val create_table : t -> name:string -> cols:string list -> key:string -> unit
+
+val create_index :
+  t -> table:string -> name:string -> column:string -> ?predicate_locks:bool ->
+  ?next_key_gaps:bool -> unit -> unit
+(** [predicate_locks:false] models an index access method without
+    predicate-lock support: scans fall back to a whole-index SIREAD lock
+    (§7.4).  [next_key_gaps] overrides the engine-wide default for this
+    index. *)
+
+val drop_index : t -> name:string -> unit
+(** Replaces index-gap SIREAD locks with relation locks on the heap
+    (§5.2.1). *)
+
+val recluster : t -> table:string -> unit
+(** Rewrites the table (like CLUSTER / ALTER TABLE): physical locations
+    change, so page- and tuple-granularity SIREAD locks are promoted to
+    relation granularity (§5.2.1). *)
+
+(** {1 Transactions} *)
+
+val begin_txn :
+  ?isolation:isolation -> ?read_only:bool -> ?deferrable:bool -> t -> txn
+(** Default isolation is [Serializable].  [~deferrable:true] (with
+    [~read_only:true], serializable) blocks until a safe snapshot is
+    available (§4.3); it requires a scheduler. *)
+
+val commit : txn -> unit
+(** May raise {!Serialization_failure} (the transaction is then rolled
+    back automatically). *)
+
+val abort : txn -> unit
+(** Roll back.  Idempotent on already-finished transactions. *)
+
+val xid : txn -> Heap.xid
+val isolation_of : txn -> isolation
+val is_finished : txn -> bool
+
+val snapshot_is_safe : txn -> bool
+(** For serializable read-only transactions: the §4.2 safe-snapshot
+    property has been established and SSI tracking dropped. *)
+
+(** {1 Savepoints (§7.3)} *)
+
+val savepoint : txn -> string -> unit
+val rollback_to_savepoint : txn -> string -> unit
+(** Undoes data changes since the savepoint.  SIREAD locks acquired in the
+    subtransaction are retained, as the paper requires. *)
+
+val release_savepoint : txn -> string -> unit
+
+(** {1 Two-phase commit (§7.1)} *)
+
+val prepare : txn -> gid:string -> unit
+(** Runs the pre-commit serialization check; afterwards the transaction
+    can no longer be aborted by conflict resolution. *)
+
+val commit_prepared : t -> gid:string -> unit
+val rollback_prepared : t -> gid:string -> unit
+val prepared_gids : t -> string list
+
+val crash_recover : t -> unit
+(** Simulate a crash and recovery: in-flight transactions vanish, prepared
+    transactions survive with conservative SSI flags (§7.1). *)
+
+(** {1 Data access} *)
+
+val insert : txn -> table:string -> Value.t array -> unit
+(** Raises {!Duplicate_key} when the primary key already exists. *)
+
+val read : txn -> table:string -> key:Value.t -> Value.t array option
+(** Point read by primary key. *)
+
+val update : txn -> table:string -> key:Value.t -> f:(Value.t array -> Value.t array) -> bool
+(** Read-modify-write of one row; [false] when the key is not visible.
+    The primary key must not be changed by [f]. *)
+
+val delete : txn -> table:string -> key:Value.t -> bool
+
+val index_scan :
+  txn -> table:string -> index:string -> lo:Value.t -> hi:Value.t -> Value.t array list
+(** Range scan via a secondary (or primary) index, in key order. *)
+
+val seq_scan : txn -> table:string -> ?filter:(Value.t array -> bool) -> unit -> Value.t array list
+(** Full-table scan; takes a relation-granularity SIREAD (or S2PL shared)
+    lock. *)
+
+val row_count : txn -> table:string -> int
+(** [List.length (seq_scan ...)] convenience. *)
+
+(** {1 Helpers} *)
+
+val with_txn :
+  ?isolation:isolation -> ?read_only:bool -> ?deferrable:bool -> t -> (txn -> 'a) -> 'a
+(** Run, commit on return, abort on exception. *)
+
+val retry :
+  ?isolation:isolation -> ?read_only:bool -> ?deferrable:bool -> ?max_attempts:int ->
+  t -> (txn -> 'a) -> 'a
+(** Like {!with_txn} but retries on {!Serialization_failure} — the
+    middleware retry loop the paper assumes (§3, §5.4).  Raises the last
+    failure after [max_attempts] (default 100). *)
+
+(** {1 Maintenance and introspection} *)
+
+val vacuum : t -> unit
+(** Prune dead tuple versions no live snapshot can see. *)
+
+type stats = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable serialization_failures : int;
+  mutable write_conflicts : int;
+  mutable deadlocks : int;
+  mutable retries : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val ssi_stats : t -> Ssi_core.Ssi.stats
+val ssi : t -> Ssi_core.Ssi.t
+val active_transactions : t -> int
+val table_names : t -> string list
+
+val table_schema : t -> table:string -> Schema.t
+(** Raises [Invalid_argument] for unknown tables. *)
+
+val table_indexes : t -> table:string -> (string * string) list
+(** [(index name, indexed column)] for every index on the table, the
+    primary-key index first. *)
+
+val set_tracer : t -> (string -> unit) option -> unit
+(** Install (or clear) a debug tracer receiving one line per operation. *)
+
+val dump_active : t -> string list
+(** One debug line per in-flight transaction (for tests and debugging). *)

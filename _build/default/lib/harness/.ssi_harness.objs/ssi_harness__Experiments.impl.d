@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Driver Hashtbl List Printf Rng Rubis Sibench Ssi_core Ssi_engine Ssi_sim Ssi_storage Ssi_util Ssi_workload Stats Tablefmt Tpcc

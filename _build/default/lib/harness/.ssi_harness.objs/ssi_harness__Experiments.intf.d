@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Driver Ssi_util Ssi_workload

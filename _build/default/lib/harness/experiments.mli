@@ -1,0 +1,100 @@
+(** One experiment per table and figure of the paper's evaluation (§8).
+
+    Each experiment returns structured measurements; the [render_*]
+    functions produce the text tables printed by [bench/main.exe].
+    Throughput series are normalized to snapshot isolation, exactly as the
+    paper's figures plot them.  Parameters default to values sized for a
+    few-minute run; tests override them with smaller ones. *)
+
+open Ssi_workload
+
+type measurement = {
+  x_label : string;  (** table size, read-only fraction, … *)
+  x_value : float;
+  mode : Driver.mode;
+  result : Driver.result;
+}
+
+(** {1 Figure 4: SIBENCH} *)
+
+val fig4 :
+  ?sizes:int list -> ?duration:float -> ?workers:int -> ?cores:int -> unit -> measurement list
+(** SIBENCH throughput vs. table size for SI / SSI / SSI-without-read-only
+    optimizations / S2PL, in-memory cost model. *)
+
+(** {1 Figure 5: DBT-2++} *)
+
+val fig5a :
+  ?fractions:float list -> ?warehouses:int -> ?duration:float -> ?workers:int ->
+  ?cores:int -> unit -> measurement list
+(** In-memory configuration: throughput vs. fraction of read-only
+    transactions (paper: 25 warehouses, 4 clients, tmpfs). *)
+
+val fig5b :
+  ?fractions:float list -> ?warehouses:int -> ?duration:float -> ?workers:int ->
+  ?cores:int -> ?disks:int -> unit -> measurement list
+(** Disk-bound configuration (paper: 150 warehouses, 36 clients, RAID
+    array).  The SSI-without-read-only-optimization series is omitted, as
+    in the paper's Figure 5b. *)
+
+(** {1 Figure 6: RUBiS} *)
+
+val fig6 :
+  ?users:int -> ?items:int -> ?duration:float -> ?workers:int -> ?cores:int -> unit ->
+  measurement list
+(** RUBiS bidding mix: absolute throughput and serialization-failure rate
+    for SI, SSI and S2PL. *)
+
+(** {1 §8.4: deferrable transactions} *)
+
+type deferrable_result = {
+  samples : int;
+  median_s : float;
+  p90_s : float;
+  max_s : float;
+  latencies : Ssi_util.Stats.t;
+}
+
+val deferrable :
+  ?samples:int -> ?warehouses:int -> ?workers:int -> ?cores:int -> ?disks:int -> unit ->
+  deferrable_result
+(** Latency to obtain a safe snapshot for DEFERRABLE transactions started
+    once per simulated second while the DBT-2++ disk-bound workload (8%
+    read-only) runs. *)
+
+(** {1 Ablations (design choices called out in DESIGN.md)} *)
+
+val ablation_promotion :
+  ?thresholds:int list -> ?rows:int -> ?duration:float -> unit -> measurement list
+(** Sweep the SIREAD granularity-promotion threshold on SIBENCH under SSI:
+    aggressive promotion saves lock-table memory at the cost of
+    false-positive aborts (§5.2.1, §6 technique 2).  [x_label] is the
+    threshold; the SI measurement at each x provides the baseline. *)
+
+val ablation_summarization :
+  ?limits:int list -> ?warehouses:int -> ?duration:float -> unit -> measurement list
+(** Sweep [max_committed_sxacts] on DBT-2++ under SSI: smaller tables force
+    more summarization, trading memory for extra false positives (§6.2). *)
+
+val ablation_nextkey :
+  ?warehouses:int -> ?duration:float -> unit -> measurement list
+(** Compare page-granularity and next-key index-gap locking under SSI on
+    DBT-2++ (§5.2.1 future work, implemented here): next-key gaps flag
+    fewer false conflicts. *)
+
+val render_ablation : title:string -> x_header:string -> measurement list -> string
+(** Rows = x values; columns = throughput and failure rate of the SSI run
+    (normalized against the SI run at the same x when present). *)
+
+(** {1 Rendering} *)
+
+val render_normalized : title:string -> x_header:string -> measurement list -> string
+(** Rows = x values; columns = modes, as throughput normalized to SI
+    (SI column shows absolute committed tx/s for reference). *)
+
+val render_fig6 : measurement list -> string
+val render_deferrable : deferrable_result -> string
+
+val normalized_throughput : measurement list -> x_label:string -> Driver.mode -> float
+(** Helper for tests: throughput of [mode] at [x_label], normalized to the
+    SI measurement at the same x. *)

@@ -1,0 +1,1 @@
+lib/lockmgr/lockmgr.ml: Format Hashtbl Heap List Printf Queue Ssi_storage Ssi_util String Value Waitq

@@ -1,0 +1,1 @@
+lib/lockmgr/lockmgr.mli: Format Heap Ssi_storage Ssi_util Value

@@ -1,0 +1,285 @@
+open Ssi_util
+open Ssi_storage
+
+type target =
+  | Relation of string
+  | Page of string * int
+  | Tuple of string * Value.t
+  | Index_page of string * int
+
+let pp_target ppf = function
+  | Relation r -> Format.fprintf ppf "rel:%s" r
+  | Page (r, p) -> Format.fprintf ppf "page:%s/%d" r p
+  | Tuple (r, k) -> Format.fprintf ppf "tuple:%s/%a" r Value.pp k
+  | Index_page (i, p) -> Format.fprintf ppf "idxpage:%s/%d" i p
+
+type mode = IS | IX | S | SIX | X
+
+let pp_mode ppf m =
+  Format.pp_print_string ppf
+    (match m with IS -> "IS" | IX -> "IX" | S -> "S" | SIX -> "SIX" | X -> "X")
+
+let compatible a b =
+  match (a, b) with
+  | IS, (IS | IX | S | SIX) | (IX | S | SIX), IS -> true
+  | IX, IX -> true
+  | IX, S | S, IX -> false
+  | S, S -> true
+  | SIX, (IX | S | SIX) | (IX | S), SIX -> false
+  | X, _ | _, X -> false
+
+let covers held requested =
+  match (held, requested) with
+  | X, _ -> true
+  | SIX, (IS | IX | S | SIX) -> true
+  | S, (IS | S) -> true
+  | IX, (IS | IX) -> true
+  | IS, IS -> true
+  | (IS | IX | S | SIX), _ -> false
+
+exception Deadlock of { victim : Heap.xid; cycle : Heap.xid list }
+
+type request = {
+  req_owner : Heap.xid;
+  req_mode : mode;
+  mutable granted : bool;
+  signal : Waitq.t;
+}
+
+type lock = {
+  mutable holders : (Heap.xid * mode) list;  (** one entry per (owner, mode) *)
+  waiters : request Queue.t;
+}
+
+module Target_table = Hashtbl.Make (struct
+  type t = target
+
+  let equal a b =
+    match (a, b) with
+    | Relation x, Relation y -> String.equal x y
+    | Page (r, p), Page (r', p') -> String.equal r r' && p = p'
+    | Tuple (r, k), Tuple (r', k') -> String.equal r r' && Value.equal k k'
+    | Index_page (i, p), Index_page (i', p') -> String.equal i i' && p = p'
+    | (Relation _ | Page _ | Tuple _ | Index_page _), _ -> false
+
+  let hash = function
+    | Relation r -> Hashtbl.hash (0, r)
+    | Page (r, p) -> Hashtbl.hash (1, r, p)
+    | Tuple (r, k) -> Hashtbl.hash (2, r, Value.hash k)
+    | Index_page (i, p) -> Hashtbl.hash (3, i, p)
+end)
+
+type t = {
+  table : lock Target_table.t;
+  owned : (Heap.xid, target list ref) Hashtbl.t;
+  sched : Waitq.scheduler;
+  mutable waiting : int;
+  mutable tracer : (string -> unit) option;
+}
+
+let create sched =
+  {
+    table = Target_table.create 512;
+    owned = Hashtbl.create 64;
+    sched;
+    waiting = 0;
+    tracer = None;
+  }
+
+let set_tracer t f = t.tracer <- f
+
+let trace t fmt =
+  match t.tracer with
+  | None -> Printf.ifprintf () fmt
+  | Some f -> Printf.ksprintf f fmt
+
+let get_lock t target =
+  match Target_table.find_opt t.table target with
+  | Some l -> l
+  | None ->
+      let l = { holders = []; waiters = Queue.create () } in
+      Target_table.add t.table target l;
+      l
+
+let note_owned t owner target =
+  match Hashtbl.find_opt t.owned owner with
+  | Some l -> l := target :: !l
+  | None -> Hashtbl.add t.owned owner (ref [ target ])
+
+let conflicts_with_holders lock ~owner ~mode =
+  List.exists (fun (o, m) -> o <> owner && not (compatible m mode)) lock.holders
+
+let holds t ~owner target mode =
+  match Target_table.find_opt t.table target with
+  | None -> false
+  | Some lock -> List.exists (fun (o, m) -> o = owner && covers m mode) lock.holders
+
+let held_by t target =
+  match Target_table.find_opt t.table target with None -> [] | Some l -> l.holders
+
+let lock_count t =
+  Target_table.fold (fun _ l acc -> acc + List.length l.holders) t.table 0
+
+let waiting_count t = t.waiting
+
+(* ---- Deadlock detection ------------------------------------------------ *)
+
+(* An owner X waits for owner Y when X has a pending request on some target
+   where Y either holds an incompatible mode or is queued ahead of X with an
+   incompatible request (FIFO grant order makes the latter a real wait). *)
+
+let blockers_of lock req =
+  let from_holders =
+    List.filter_map
+      (fun (o, m) ->
+        if o <> req.req_owner && not (compatible m req.req_mode) then Some o else None)
+      lock.holders
+  in
+  let ahead = ref [] in
+  (try
+     Queue.iter
+       (fun r ->
+         if r == req then raise Exit
+         else if
+           (not r.granted)
+           && r.req_owner <> req.req_owner
+           && not (compatible r.req_mode req.req_mode)
+         then ahead := r.req_owner :: !ahead)
+       lock.waiters
+   with Exit -> ());
+  from_holders @ !ahead
+
+(* Map each waiting owner to the owners it waits for, by scanning all lock
+   queues.  Deadlock check is rare (only on block), so recomputing is fine. *)
+let waits_for_edges t =
+  let edges = Hashtbl.create 16 in
+  Target_table.iter
+    (fun _ lock ->
+      Queue.iter
+        (fun req ->
+          if not req.granted then
+            Hashtbl.replace edges req.req_owner
+              (blockers_of lock req
+              @ (match Hashtbl.find_opt edges req.req_owner with
+                | Some l -> l
+                | None -> [])))
+        lock.waiters)
+    t.table;
+  edges
+
+let find_cycle t start =
+  let edges = waits_for_edges t in
+  let rec dfs path visited node =
+    if node = start && path <> [] then Some (List.rev path)
+    else if List.mem node visited then None
+    else
+      match Hashtbl.find_opt edges node with
+      | None -> None
+      | Some succs ->
+          List.fold_left
+            (fun acc succ ->
+              match acc with
+              | Some _ -> acc
+              | None -> dfs (succ :: path) (node :: visited) succ)
+            None succs
+  in
+  dfs [] [] start
+
+(* ---- Grant / wait ------------------------------------------------------ *)
+
+let add_holder lock owner mode =
+  if not (List.exists (fun (o, m) -> o = owner && m = mode) lock.holders) then
+    lock.holders <- (owner, mode) :: lock.holders
+
+let grant_waiters t lock =
+  (* FIFO: grant from the front while requests are compatible with the
+     current holders; stop at the first that is not, to avoid starving it. *)
+  let rec loop () =
+    match Queue.peek_opt lock.waiters with
+    | None -> ()
+    | Some req ->
+        if conflicts_with_holders lock ~owner:req.req_owner ~mode:req.req_mode then ()
+        else begin
+          ignore (Queue.pop lock.waiters);
+          add_holder lock req.req_owner req.req_mode;
+          req.granted <- true;
+          t.waiting <- t.waiting - 1;
+          Waitq.wake_all req.signal;
+          loop ()
+        end
+  in
+  loop ()
+
+let remove_request lock req =
+  let keep = Queue.create () in
+  Queue.iter (fun r -> if r != req then Queue.add r keep) lock.waiters;
+  Queue.clear lock.waiters;
+  Queue.transfer keep lock.waiters
+
+let acquire t ~owner target mode =
+  let lock = get_lock t target in
+  trace t "lock x%d %s %s" owner
+    (Format.asprintf "%a" pp_target target)
+    (Format.asprintf "%a" pp_mode mode);
+  if holds t ~owner target mode then ()
+  else if
+    (not (conflicts_with_holders lock ~owner ~mode)) && Queue.is_empty lock.waiters
+  then begin
+    add_holder lock owner mode;
+    note_owned t owner target
+  end
+  else begin
+    let req = { req_owner = owner; req_mode = mode; granted = false; signal = Waitq.create () } in
+    Queue.add req lock.waiters;
+    t.waiting <- t.waiting + 1;
+    (* Maybe the queue was non-empty only with compatible requests. *)
+    grant_waiters t lock;
+    trace t "lock x%d WAIT" owner;
+    if not req.granted then begin
+      (match find_cycle t owner with
+      | Some cycle ->
+          remove_request lock req;
+          t.waiting <- t.waiting - 1;
+          grant_waiters t lock;
+          raise (Deadlock { victim = owner; cycle })
+      | None -> ());
+      (try t.sched.suspend req.signal
+       with e ->
+         if not req.granted then begin
+           remove_request lock req;
+           t.waiting <- t.waiting - 1;
+           grant_waiters t lock
+         end;
+         raise e);
+      assert req.granted
+    end;
+    note_owned t owner target
+  end
+
+let try_acquire t ~owner target mode =
+  let lock = get_lock t target in
+  if holds t ~owner target mode then true
+  else if
+    (not (conflicts_with_holders lock ~owner ~mode)) && Queue.is_empty lock.waiters
+  then begin
+    add_holder lock owner mode;
+    note_owned t owner target;
+    true
+  end
+  else false
+
+let release_all t ~owner =
+  match Hashtbl.find_opt t.owned owner with
+  | None -> ()
+  | Some targets ->
+      Hashtbl.remove t.owned owner;
+      List.iter
+        (fun target ->
+          match Target_table.find_opt t.table target with
+          | None -> ()
+          | Some lock ->
+              lock.holders <- List.filter (fun (o, _) -> o <> owner) lock.holders;
+              grant_waiters t lock;
+              if lock.holders = [] && Queue.is_empty lock.waiters then
+                Target_table.remove t.table target)
+        !targets

@@ -1,0 +1,67 @@
+(** Heavyweight multigranularity lock manager with deadlock detection.
+
+    This is the substrate for the strict two-phase-locking baseline the
+    paper compares against (§8): "classic" read locks acquired in the
+    heavyweight lock manager, plus the appropriate intention locks.  It is
+    a blocking lock manager: acquisition suspends the caller (through the
+    scheduler handed to {!create}) until the lock is granted, and a
+    waits-for cycle raises {!Deadlock} in the requester, which the engine
+    turns into a serialization failure.
+
+    Lock targets use the same granularities as the SSI lock manager:
+    relation, heap page, tuple, and index leaf page. *)
+
+open Ssi_storage
+
+type target =
+  | Relation of string
+  | Page of string * int
+  | Tuple of string * Value.t
+  | Index_page of string * int
+
+val pp_target : Format.formatter -> target -> unit
+
+type mode = IS | IX | S | SIX | X
+
+val pp_mode : Format.formatter -> mode -> unit
+
+val compatible : mode -> mode -> bool
+(** Standard multigranularity compatibility matrix. *)
+
+val covers : mode -> mode -> bool
+(** [covers held requested]: holding [held] makes acquiring [requested]
+    redundant (e.g. [X] covers everything, [SIX] covers [S]). *)
+
+exception Deadlock of { victim : Heap.xid; cycle : Heap.xid list }
+(** Raised in the requester whose wait would close a waits-for cycle. *)
+
+type t
+
+val create : Ssi_util.Waitq.scheduler -> t
+
+val set_tracer : t -> (string -> unit) option -> unit
+(** Install a debug tracer receiving one line per acquisition/wait. *)
+
+val acquire : t -> owner:Heap.xid -> target -> mode -> unit
+(** Grant the lock, suspending while incompatible locks are held by other
+    owners.  Re-acquiring a covered mode is a no-op.  May raise
+    {!Deadlock} (the request is withdrawn first) or
+    [Waitq.Would_block] under the direct scheduler. *)
+
+val try_acquire : t -> owner:Heap.xid -> target -> mode -> bool
+(** Like {!acquire} but returns [false] instead of waiting. *)
+
+val release_all : t -> owner:Heap.xid -> unit
+(** Drop every lock held by [owner] (commit/abort), granting waiters. *)
+
+val holds : t -> owner:Heap.xid -> target -> mode -> bool
+(** Whether [owner] holds a mode covering [mode] on [target]. *)
+
+val held_by : t -> target -> (Heap.xid * mode) list
+(** Current holders (for tests and introspection). *)
+
+val lock_count : t -> int
+(** Total number of (owner, target) holdings. *)
+
+val waiting_count : t -> int
+(** Number of suspended requests (for tests). *)

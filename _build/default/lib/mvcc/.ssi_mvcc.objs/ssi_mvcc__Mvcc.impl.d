@@ -1,0 +1,1 @@
+lib/mvcc/mvcc.ml: Hashtbl Heap List Printf Ssi_storage

@@ -1,0 +1,1 @@
+lib/mvcc/mvcc.mli: Ssi_storage

@@ -1,0 +1,111 @@
+open Ssi_storage
+
+type xid = Heap.xid
+type cseq = int
+
+let invalid_cseq = max_int
+
+module Clog = struct
+  type status = In_progress | Committed of cseq | Aborted
+
+  type t = {
+    statuses : (xid, status) Hashtbl.t;
+    mutable next_xid : xid;
+    mutable next_cseq : cseq;
+  }
+
+  let create () = { statuses = Hashtbl.create 256; next_xid = 1; next_cseq = 1 }
+
+  let new_xid t =
+    let xid = t.next_xid in
+    t.next_xid <- xid + 1;
+    Hashtbl.replace t.statuses xid In_progress;
+    xid
+
+  let status t xid =
+    match Hashtbl.find_opt t.statuses xid with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "Clog.status: unknown xid %d" xid)
+
+  let commit t xid =
+    (match status t xid with
+    | In_progress -> ()
+    | Committed _ | Aborted -> invalid_arg "Clog.commit: transaction already resolved");
+    let c = t.next_cseq in
+    t.next_cseq <- c + 1;
+    Hashtbl.replace t.statuses xid (Committed c);
+    c
+
+  let abort t xid =
+    (match status t xid with
+    | In_progress -> ()
+    | Committed _ | Aborted -> invalid_arg "Clog.abort: transaction already resolved");
+    Hashtbl.replace t.statuses xid Aborted
+
+  let next_cseq t = t.next_cseq
+
+  let commit_cseq t xid =
+    match status t xid with Committed c -> c | In_progress | Aborted -> invalid_cseq
+
+  let is_committed t xid =
+    match status t xid with Committed _ -> true | In_progress | Aborted -> false
+end
+
+module Snapshot = struct
+  type t = { owner : xid; horizon : cseq }
+
+  let take clog ~owner = { owner; horizon = Clog.next_cseq clog }
+
+  let sees_xid clog t xid =
+    xid = t.owner
+    ||
+    match Clog.status clog xid with
+    | Committed c -> c < t.horizon
+    | In_progress | Aborted -> false
+end
+
+module Visibility = struct
+  type verdict = Visible of xid option | Invisible of xid option
+
+  (* A write by [w] that the reader "reads around" creates a reader→w
+     rw-antidependency, but only when [w] actually is (or may yet be) part
+     of the committed history: in progress, or committed after the
+     snapshot.  Aborted writers and the reader itself never conflict. *)
+  let conflict_writer clog snap w =
+    if w = Heap.invalid_xid || w = snap.Snapshot.owner then None
+    else
+      match Clog.status clog w with
+      | Aborted -> None
+      | In_progress -> Some w
+      | Committed c -> if c >= snap.Snapshot.horizon then Some w else None
+
+  let check clog snap (tuple : Heap.tuple) =
+    if Snapshot.sees_xid clog snap tuple.xmin then
+      if tuple.xmax = Heap.invalid_xid then Visible None
+      else if tuple.xmax = snap.Snapshot.owner then Invisible None (* deleted by self *)
+      else if Snapshot.sees_xid clog snap tuple.xmax then Invisible None
+        (* deleter committed before the snapshot: cleanly gone *)
+      else
+        (* Deleter in progress, committed after the snapshot, or aborted:
+           the version is still visible here. *)
+        Visible (conflict_writer clog snap tuple.xmax)
+    else Invisible (conflict_writer clog snap tuple.xmin)
+
+  let latest_visible clog snap head =
+    let rec walk v conflicts =
+      match v with
+      | None -> (None, List.rev conflicts)
+      | Some tuple -> (
+          match check clog snap tuple with
+          | Visible deleter -> (Some (tuple, deleter), List.rev conflicts)
+          | Invisible (Some w) -> walk tuple.Heap.prev (w :: conflicts)
+          | Invisible None -> (
+              (* An invisible version with no conflicting creator is either
+                 aborted (skip it) or was deleted before the snapshot — in
+                 which case no older version can be visible either, but
+                 walking on is still correct because visibility of older
+                 versions is checked independently. *)
+              walk tuple.Heap.prev conflicts))
+    in
+    walk (Some head) []
+end

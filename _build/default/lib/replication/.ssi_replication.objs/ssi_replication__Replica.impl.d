@@ -1,0 +1,1 @@
+lib/replication/replica.ml: Array Hashtbl List Queue Ssi_engine Ssi_sim Ssi_storage Ssi_util Value Waitq

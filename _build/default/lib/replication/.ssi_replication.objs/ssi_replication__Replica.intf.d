@@ -1,0 +1,1 @@
+lib/replication/replica.mli: Ssi_engine Ssi_storage Value

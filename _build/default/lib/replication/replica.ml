@@ -1,0 +1,134 @@
+open Ssi_storage
+open Ssi_util
+module E = Ssi_engine.Engine
+
+module Key_table = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+(* Versioned rows: newest first, each tagged with the applying commit's
+   cseq.  [None] marks a deletion. *)
+type versions = (int * Value.t array option) list ref
+
+type t = {
+  tables : (string, versions Key_table.t) Hashtbl.t;
+  mutable applied : int;
+  mutable last_safe : int;
+  mutable lag : int;
+  pending : E.commit_record Queue.t;
+  safe_arrived : Waitq.t;
+}
+
+let table_store t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some store -> store
+  | None ->
+      let store = Key_table.create 64 in
+      Hashtbl.add t.tables name store;
+      store
+
+let versions_of store key =
+  match Key_table.find_opt store key with
+  | Some v -> v
+  | None ->
+      let v = ref [] in
+      Key_table.add store key v;
+      v
+
+let apply_record t (record : E.commit_record) =
+  let cseq = record.E.wal_cseq in
+  List.iter
+    (fun op ->
+      match op with
+      | E.Wal_insert { table; key; row } ->
+          let v = versions_of (table_store t table) key in
+          v := (cseq, Some row) :: !v
+      | E.Wal_update { table; key; row } ->
+          let v = versions_of (table_store t table) key in
+          v := (cseq, Some row) :: !v
+      | E.Wal_delete { table; key } ->
+          let v = versions_of (table_store t table) key in
+          v := (cseq, None) :: !v)
+    record.E.wal_ops;
+  t.applied <- max t.applied cseq;
+  if record.E.wal_safe_point then begin
+    t.last_safe <- max t.last_safe cseq;
+    Waitq.wake_all t.safe_arrived
+  end
+
+let drain t =
+  while Queue.length t.pending > t.lag do
+    apply_record t (Queue.pop t.pending)
+  done
+
+let on_commit t record =
+  Queue.add record t.pending;
+  drain t
+
+let attach primary =
+  let t =
+    {
+      tables = Hashtbl.create 8;
+      applied = 0;
+      last_safe = 0;
+      lag = 0;
+      pending = Queue.create ();
+      safe_arrived = Waitq.create ();
+    }
+  in
+  E.set_on_commit primary (on_commit t);
+  t
+
+let applied_cseq t = t.applied
+let last_safe_cseq t = t.last_safe
+
+let set_apply_lag t n =
+  t.lag <- max 0 n;
+  drain t
+
+type rtxn = { replica : t; horizon : int }
+
+let begin_read t mode =
+  match mode with
+  | `Latest_safe -> { replica = t; horizon = t.last_safe }
+  | `Latest_applied -> { replica = t; horizon = t.applied }
+
+let snapshot_cseq r = r.horizon
+
+let visible_row r versions =
+  let rec find = function
+    | [] -> None
+    | (cseq, row) :: older -> if cseq <= r.horizon then row else find older
+  in
+  find !versions
+
+let read r ~table ~key =
+  match Hashtbl.find_opt r.replica.tables table with
+  | None -> None
+  | Some store -> (
+      match Key_table.find_opt store key with
+      | None -> None
+      | Some versions -> (
+          match visible_row r versions with
+          | Some row -> Some (Array.copy row)
+          | None -> None))
+
+let scan r ~table ?(filter = fun _ -> true) () =
+  match Hashtbl.find_opt r.replica.tables table with
+  | None -> []
+  | Some store ->
+      Key_table.fold
+        (fun _ versions acc ->
+          match visible_row r versions with
+          | Some row when filter row -> Array.copy row :: acc
+          | Some _ | None -> acc)
+        store []
+
+let wait_snapshot t ~after =
+  while t.last_safe <= after do
+    Ssi_sim.Sim.wait t.safe_arrived
+  done;
+  t.last_safe

@@ -1,0 +1,52 @@
+(** Log-shipping replication and serializable reads on replicas (§7.2).
+
+    A {!t} attaches to a primary engine through its commit hook and applies
+    every committed transaction's changes in commit order, building a
+    versioned copy of the data.  Because SSI — unlike S2PL or classic OCC —
+    does not guarantee that the commit order matches the apparent serial
+    order, running a read-only query on an arbitrary replica snapshot can
+    observe anomalies (the paper's REPORT example).  The replica therefore
+    tracks the {e safe-snapshot points} marked in the WAL stream and offers
+    the three §7.2 options:
+
+    - [`Latest_safe]: read from the most recent safe snapshot (possibly
+      stale, but serializable);
+    - [`Latest_applied]: read from the newest applied state — snapshot
+      isolation only, may expose SSI anomalies (the "weaker isolation
+      level" option);
+    - waiting for the next safe snapshot is available through
+      {!wait_snapshot} in simulation. *)
+
+open Ssi_storage
+
+type t
+
+val attach : Ssi_engine.Engine.t -> t
+(** Create a replica fed by the primary's WAL stream (installs the
+    primary's commit hook). *)
+
+val applied_cseq : t -> int
+(** Commit sequence number of the newest applied transaction. *)
+
+val last_safe_cseq : t -> int
+(** Newest safe-snapshot point seen in the stream (0 if none yet). *)
+
+val set_apply_lag : t -> int -> unit
+(** Hold back the last [n] commit records from application (simulates
+    replication lag; default 0).  Records are applied as newer ones
+    arrive. *)
+
+type rtxn
+(** A read-only transaction on the replica: a fixed snapshot. *)
+
+val begin_read : t -> [ `Latest_safe | `Latest_applied ] -> rtxn
+
+val snapshot_cseq : rtxn -> int
+
+val read : rtxn -> table:string -> key:Value.t -> Value.t array option
+
+val scan : rtxn -> table:string -> ?filter:(Value.t array -> bool) -> unit -> Value.t array list
+
+val wait_snapshot : t -> after:int -> int
+(** In simulation: suspend until a safe snapshot with cseq > [after]
+    appears, and return its cseq (the DEFERRABLE-style replica option). *)

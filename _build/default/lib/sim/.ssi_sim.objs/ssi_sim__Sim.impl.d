@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Effect Hashtbl Pqueue Printf Ssi_util Waitq

@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Ast Format Lexer List Printf Ssi_storage String Value

@@ -1,0 +1,1 @@
+lib/sql/session.ml: Array Ast Float Format Hashtbl List Parser Printf Schema Ssi_core Ssi_engine Ssi_storage Ssi_util String Value

@@ -1,0 +1,1 @@
+lib/sql/session.mli: Ast Ssi_engine Ssi_storage Value

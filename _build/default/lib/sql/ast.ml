@@ -1,0 +1,77 @@
+open Ssi_storage
+
+type expr =
+  | Lit of Value.t
+  | Col of string
+  | Neg of expr
+  | Arith of arith_op * expr * expr
+  | Cmp of cmp_op * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+and arith_op = Add | Sub | Mul
+
+and cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+type order = Asc | Desc
+
+type aggregate = Count_star | Sum of string | Min of string | Max of string
+
+type projection = Star | Columns of string list | Aggregate of aggregate
+
+type isolation_level = Read_committed | Repeatable_read | Serializable
+
+type stmt =
+  | Create_table of { name : string; cols : string list; key : string }
+  | Create_index of { name : string; table : string; column : string }
+  | Drop_index of string
+  | Insert of { table : string; rows : expr list list }
+  | Select of {
+      proj : projection;
+      table : string;
+      where : expr option;
+      order_by : (string * order) option;
+      limit : int option;
+    }
+  | Update of { table : string; sets : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Begin of { isolation : isolation_level option; read_only : bool; deferrable : bool }
+  | Commit
+  | Rollback
+  | Savepoint of string
+  | Rollback_to of string
+  | Release of string
+  | Prepare_transaction of string
+  | Commit_prepared of string
+  | Rollback_prepared of string
+  | Vacuum
+  | Show_tables
+  | Show_locks
+  | Show_conflicts
+
+let pp_stmt ppf stmt =
+  let name =
+    match stmt with
+    | Create_table { name; _ } -> "CREATE TABLE " ^ name
+    | Create_index { name; _ } -> "CREATE INDEX " ^ name
+    | Drop_index n -> "DROP INDEX " ^ n
+    | Insert { table; _ } -> "INSERT INTO " ^ table
+    | Select { table; _ } -> "SELECT FROM " ^ table
+    | Update { table; _ } -> "UPDATE " ^ table
+    | Delete { table; _ } -> "DELETE FROM " ^ table
+    | Begin _ -> "BEGIN"
+    | Commit -> "COMMIT"
+    | Rollback -> "ROLLBACK"
+    | Savepoint s -> "SAVEPOINT " ^ s
+    | Rollback_to s -> "ROLLBACK TO " ^ s
+    | Release s -> "RELEASE " ^ s
+    | Prepare_transaction g -> "PREPARE TRANSACTION " ^ g
+    | Commit_prepared g -> "COMMIT PREPARED " ^ g
+    | Rollback_prepared g -> "ROLLBACK PREPARED " ^ g
+    | Vacuum -> "VACUUM"
+    | Show_tables -> "SHOW TABLES"
+    | Show_locks -> "SHOW LOCKS"
+    | Show_conflicts -> "SHOW CONFLICTS"
+  in
+  Format.pp_print_string ppf name

@@ -1,0 +1,95 @@
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | String of string
+  | Symbol of string
+  | Eof
+
+exception Lex_error of string
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "ident:%s" s
+  | Int i -> Format.fprintf ppf "int:%d" i
+  | Float f -> Format.fprintf ppf "float:%g" f
+  | String s -> Format.fprintf ppf "string:%S" s
+  | Symbol s -> Format.fprintf ppf "sym:%s" s
+  | Eof -> Format.pp_print_string ppf "eof"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && input.[!i + 1] = '-' then begin
+      (* line comment *)
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      emit (Ident (String.lowercase_ascii (String.sub input start (!i - start))))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      if !i < n && input.[!i] = '.' && !i + 1 < n && is_digit input.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit input.[!i] do
+          incr i
+        done;
+        emit (Float (float_of_string (String.sub input start (!i - start))))
+      end
+      else emit (Int (int_of_string (String.sub input start (!i - start))))
+    end
+    else if c = '\'' then begin
+      (* single-quoted string, '' escapes a quote *)
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if input.[!i] = '\'' then
+          if !i + 1 < n && input.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf input.[!i];
+          incr i
+        end
+      done;
+      if not !closed then raise (Lex_error "unterminated string literal");
+      emit (String (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub input !i 2 else "" in
+      match two with
+      | "<=" | ">=" | "<>" | "!=" ->
+          emit (Symbol (if two = "!=" then "<>" else two));
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | ',' | ';' | '*' | '=' | '<' | '>' | '+' | '-' ->
+              emit (Symbol (String.make 1 c));
+              incr i
+          | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c)))
+    end
+  done;
+  List.rev (Eof :: !tokens)

@@ -1,0 +1,17 @@
+(** Hand-written SQL lexer. *)
+
+type token =
+  | Ident of string  (** lower-cased bare identifier or keyword *)
+  | Int of int
+  | Float of float
+  | String of string  (** single-quoted, with [''] escaping *)
+  | Symbol of string  (** punctuation and operators: ( ) , ; * = <> < <= > >= + - *)
+  | Eof
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+(** Raises {!Lex_error} on malformed input (unterminated string, stray
+    character). *)
+
+val pp_token : Format.formatter -> token -> unit

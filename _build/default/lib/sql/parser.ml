@@ -1,0 +1,366 @@
+open Ssi_storage
+open Ast
+
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let peek st = match st.toks with [] -> Lexer.Eof | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect_symbol st s =
+  match next st with
+  | Lexer.Symbol s' when s' = s -> ()
+  | t -> fail "expected %S, got %a" s (fun () -> Format.asprintf "%a" Lexer.pp_token) t
+
+let expect_kw st kw =
+  match next st with
+  | Lexer.Ident k when k = kw -> ()
+  | t -> fail "expected %s, got %s" (String.uppercase_ascii kw) (Format.asprintf "%a" Lexer.pp_token t)
+
+let accept_kw st kw =
+  match peek st with
+  | Lexer.Ident k when k = kw ->
+      advance st;
+      true
+  | _ -> false
+
+let accept_symbol st s =
+  match peek st with
+  | Lexer.Symbol s' when s' = s ->
+      advance st;
+      true
+  | _ -> false
+
+let ident st =
+  match next st with
+  | Lexer.Ident s -> s
+  | t -> fail "expected identifier, got %s" (Format.asprintf "%a" Lexer.pp_token t)
+
+let string_lit st =
+  match next st with
+  | Lexer.String s -> s
+  | t -> fail "expected string literal, got %s" (Format.asprintf "%a" Lexer.pp_token t)
+
+(* ---- Expressions ----------------------------------------------------------- *)
+(* Grammar (precedence low to high):
+     or_expr   := and_expr [OR and_expr]...
+     and_expr  := not_expr [AND not_expr]...
+     not_expr  := NOT not_expr | cmp_expr
+     cmp_expr  := add_expr [(= | <> | < | <= | > | >=) add_expr]
+     add_expr  := mul_expr [(+ | -) mul_expr]...
+     mul_expr  := unary [star unary]...
+     unary     := - unary | primary
+     primary   := literal | identifier | ( or_expr ) *)
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  if accept_kw st "or" then Or (lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept_kw st "and" then And (lhs, parse_and st) else lhs
+
+and parse_not st = if accept_kw st "not" then Not (parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Lexer.Symbol "=" -> Some Eq
+    | Lexer.Symbol "<>" -> Some Ne
+    | Lexer.Symbol "<" -> Some Lt
+    | Lexer.Symbol "<=" -> Some Le
+    | Lexer.Symbol ">" -> Some Gt
+    | Lexer.Symbol ">=" -> Some Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Cmp (op, lhs, parse_add st)
+
+and parse_add st =
+  let rec loop lhs =
+    if accept_symbol st "+" then loop (Arith (Add, lhs, parse_mul st))
+    else if accept_symbol st "-" then loop (Arith (Sub, lhs, parse_mul st))
+    else lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    if accept_symbol st "*" then loop (Arith (Mul, lhs, parse_unary st)) else lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  if accept_symbol st "-" then Neg (parse_unary st) else parse_primary st
+
+and parse_primary st =
+  match next st with
+  | Lexer.Int i -> Lit (Value.Int i)
+  | Lexer.Float f -> Lit (Value.Float f)
+  | Lexer.String s -> Lit (Value.Str s)
+  | Lexer.Ident "true" -> Lit (Value.Bool true)
+  | Lexer.Ident "false" -> Lit (Value.Bool false)
+  | Lexer.Ident "null" -> Lit Value.Null
+  | Lexer.Ident name -> Col name
+  | Lexer.Symbol "(" ->
+      let e = parse_or st in
+      expect_symbol st ")";
+      e
+  | t -> fail "unexpected token in expression: %s" (Format.asprintf "%a" Lexer.pp_token t)
+
+(* ---- Statements -------------------------------------------------------------- *)
+
+let parse_where st = if accept_kw st "where" then Some (parse_or st) else None
+
+let parse_select st =
+  let proj =
+    if accept_symbol st "*" then Star
+    else if accept_kw st "count" then begin
+      expect_symbol st "(";
+      expect_symbol st "*";
+      expect_symbol st ")";
+      Aggregate Count_star
+    end
+    else if accept_kw st "sum" then begin
+      expect_symbol st "(";
+      let c = ident st in
+      expect_symbol st ")";
+      Aggregate (Sum c)
+    end
+    else if accept_kw st "min" then begin
+      expect_symbol st "(";
+      let c = ident st in
+      expect_symbol st ")";
+      Aggregate (Min c)
+    end
+    else if accept_kw st "max" then begin
+      expect_symbol st "(";
+      let c = ident st in
+      expect_symbol st ")";
+      Aggregate (Max c)
+    end
+    else begin
+      let rec cols acc =
+        let c = ident st in
+        if accept_symbol st "," then cols (c :: acc) else List.rev (c :: acc)
+      in
+      Columns (cols [])
+    end
+  in
+  expect_kw st "from";
+  let table = ident st in
+  let where = parse_where st in
+  let order_by =
+    if accept_kw st "order" then begin
+      expect_kw st "by";
+      let c = ident st in
+      let dir = if accept_kw st "desc" then Desc else (ignore (accept_kw st "asc"); Asc) in
+      Some (c, dir)
+    end
+    else None
+  in
+  let limit =
+    if accept_kw st "limit" then
+      match next st with
+      | Lexer.Int i -> Some i
+      | t -> fail "expected integer after LIMIT, got %s" (Format.asprintf "%a" Lexer.pp_token t)
+    else None
+  in
+  Select { proj; table; where; order_by; limit }
+
+let parse_insert st =
+  expect_kw st "into";
+  let table = ident st in
+  expect_kw st "values";
+  let parse_row () =
+    expect_symbol st "(";
+    let rec vals acc =
+      let e = parse_or st in
+      if accept_symbol st "," then vals (e :: acc)
+      else begin
+        expect_symbol st ")";
+        List.rev (e :: acc)
+      end
+    in
+    vals []
+  in
+  let rec rows acc =
+    let r = parse_row () in
+    if accept_symbol st "," then rows (r :: acc) else List.rev (r :: acc)
+  in
+  Insert { table; rows = rows [] }
+
+let parse_update st =
+  let table = ident st in
+  expect_kw st "set";
+  let rec sets acc =
+    let col = ident st in
+    expect_symbol st "=";
+    let e = parse_or st in
+    if accept_symbol st "," then sets ((col, e) :: acc) else List.rev ((col, e) :: acc)
+  in
+  let sets = sets [] in
+  let where = parse_where st in
+  Update { table; sets; where }
+
+let parse_create st =
+  if accept_kw st "table" then begin
+    let name = ident st in
+    expect_symbol st "(";
+    let cols = ref [] in
+    let key = ref None in
+    let rec items () =
+      (if accept_kw st "primary" then begin
+         expect_kw st "key";
+         expect_symbol st "(";
+         key := Some (ident st);
+         expect_symbol st ")"
+       end
+       else cols := ident st :: !cols);
+      if accept_symbol st "," then items () else expect_symbol st ")"
+    in
+    items ();
+    let cols = List.rev !cols in
+    let key =
+      match !key with
+      | Some k -> k
+      | None -> ( match cols with [] -> fail "empty column list" | c :: _ -> c)
+    in
+    Create_table { name; cols; key }
+  end
+  else if accept_kw st "index" then begin
+    let name = ident st in
+    expect_kw st "on";
+    let table = ident st in
+    expect_symbol st "(";
+    let column = ident st in
+    expect_symbol st ")";
+    Create_index { name; table; column }
+  end
+  else fail "expected TABLE or INDEX after CREATE"
+
+let parse_begin st =
+  let isolation = ref None in
+  let read_only = ref false in
+  let deferrable = ref false in
+  ignore (accept_kw st "transaction");
+  let rec modifiers () =
+    if accept_kw st "isolation" then begin
+      expect_kw st "level";
+      if accept_kw st "read" then begin
+        expect_kw st "committed";
+        isolation := Some Read_committed
+      end
+      else if accept_kw st "repeatable" then begin
+        expect_kw st "read";
+        isolation := Some Repeatable_read
+      end
+      else if accept_kw st "serializable" then isolation := Some Serializable
+      else fail "unknown isolation level";
+      ignore (accept_symbol st ",");
+      modifiers ()
+    end
+    else if accept_kw st "read" then begin
+      if accept_kw st "only" then read_only := true
+      else if accept_kw st "write" then read_only := false
+      else fail "expected ONLY or WRITE after READ";
+      ignore (accept_symbol st ",");
+      modifiers ()
+    end
+    else if accept_kw st "deferrable" then begin
+      deferrable := true;
+      ignore (accept_symbol st ",");
+      modifiers ()
+    end
+  in
+  modifiers ();
+  Begin { isolation = !isolation; read_only = !read_only; deferrable = !deferrable }
+
+let parse_stmt_inner st =
+  match next st with
+  | Lexer.Ident "create" -> parse_create st
+  | Lexer.Ident "drop" ->
+      expect_kw st "index";
+      Drop_index (ident st)
+  | Lexer.Ident "insert" -> parse_insert st
+  | Lexer.Ident "select" -> parse_select st
+  | Lexer.Ident "update" -> parse_update st
+  | Lexer.Ident "delete" ->
+      expect_kw st "from";
+      let table = ident st in
+      Delete { table; where = parse_where st }
+  | Lexer.Ident "begin" | Lexer.Ident "start" -> parse_begin st
+  | Lexer.Ident "commit" ->
+      if accept_kw st "prepared" then Commit_prepared (string_lit st) else Commit
+  | Lexer.Ident "rollback" ->
+      if accept_kw st "prepared" then Rollback_prepared (string_lit st)
+      else if accept_kw st "to" then begin
+        ignore (accept_kw st "savepoint");
+        Rollback_to (ident st)
+      end
+      else Rollback
+  | Lexer.Ident "abort" -> Rollback
+  | Lexer.Ident "savepoint" -> Savepoint (ident st)
+  | Lexer.Ident "release" ->
+      ignore (accept_kw st "savepoint");
+      Release (ident st)
+  | Lexer.Ident "prepare" ->
+      expect_kw st "transaction";
+      Prepare_transaction (string_lit st)
+  | Lexer.Ident "vacuum" -> Vacuum
+  | Lexer.Ident "show" -> (
+      match next st with
+      | Lexer.Ident "tables" -> Show_tables
+      | Lexer.Ident "locks" -> Show_locks
+      | Lexer.Ident "conflicts" -> Show_conflicts
+      | t -> fail "expected TABLES, LOCKS or CONFLICTS, got %s"
+               (Format.asprintf "%a" Lexer.pp_token t))
+  | t -> fail "unexpected start of statement: %s" (Format.asprintf "%a" Lexer.pp_token t)
+
+let parse input =
+  let st = { toks = Lexer.tokenize input } in
+  let stmt = parse_stmt_inner st in
+  ignore (accept_symbol st ";");
+  (match peek st with
+  | Lexer.Eof -> ()
+  | t -> fail "trailing input: %s" (Format.asprintf "%a" Lexer.pp_token t));
+  stmt
+
+let parse_script input =
+  let st = { toks = Lexer.tokenize input } in
+  let rec loop acc =
+    match peek st with
+    | Lexer.Eof -> List.rev acc
+    | Lexer.Symbol ";" ->
+        advance st;
+        loop acc
+    | _ ->
+        let stmt = parse_stmt_inner st in
+        (match peek st with
+        | Lexer.Symbol ";" -> advance st
+        | Lexer.Eof -> ()
+        | t -> fail "expected ';', got %s" (Format.asprintf "%a" Lexer.pp_token t));
+        loop (stmt :: acc)
+  in
+  loop []
+
+let parse_expr input =
+  let st = { toks = Lexer.tokenize input } in
+  let e = parse_or st in
+  (match peek st with
+  | Lexer.Eof -> ()
+  | t -> fail "trailing input: %s" (Format.asprintf "%a" Lexer.pp_token t));
+  e

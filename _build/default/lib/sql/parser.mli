@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast}). *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.stmt
+(** Parse one statement (an optional trailing [;] is accepted). *)
+
+val parse_script : string -> Ast.stmt list
+(** Parse a [;]-separated sequence of statements. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (for tests). *)

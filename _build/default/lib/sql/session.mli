@@ -1,0 +1,38 @@
+(** SQL sessions: statement execution against the engine.
+
+    A session owns at most one open transaction.  Statements outside an
+    explicit [BEGIN]/[COMMIT] run in autocommit mode (their own
+    serializable transaction).  Serialization failures surface as
+    {!Sql_error} with a PostgreSQL-style message, and — as in PostgreSQL —
+    abort the open transaction, which must then be rolled back (any
+    further statement except [ROLLBACK]/[COMMIT] fails). *)
+
+open Ssi_storage
+
+exception Sql_error of string
+
+type t
+
+val create : Ssi_engine.Engine.t -> t
+(** Wrap an engine; multiple sessions can share one engine (that is how
+    concurrent SQL transactions are expressed). *)
+
+val db : t -> Ssi_engine.Engine.t
+
+val in_transaction : t -> bool
+
+type result =
+  | Rows of { cols : string list; rows : Value.t array list }
+  | Affected of int  (** rows touched by INSERT/UPDATE/DELETE *)
+  | Message of string  (** transaction control and DDL acknowledgements *)
+
+val exec : t -> Ast.stmt -> result
+(** Raises {!Sql_error} on execution errors (including serialization
+    failures) and [Parser.Parse_error] never (parsing happened before). *)
+
+val exec_sql : t -> string -> result list
+(** Parse and execute a [;]-separated script, stopping at the first
+    error. *)
+
+val render : result -> string
+(** psql-style text rendering. *)

@@ -1,0 +1,1 @@
+lib/storage/heap.ml: Format Hashtbl Schema Seq Value

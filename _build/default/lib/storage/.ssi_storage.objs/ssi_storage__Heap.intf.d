@@ -1,0 +1,1 @@
+lib/storage/heap.mli: Format Schema Seq Value

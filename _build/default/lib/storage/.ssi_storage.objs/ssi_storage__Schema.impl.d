@@ -1,0 +1,1 @@
+lib/storage/schema.ml: Array Format Hashtbl Printf String

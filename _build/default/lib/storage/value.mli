@@ -1,0 +1,29 @@
+(** SQL-ish dynamically-typed values stored in tuples and index keys. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+val compare : t -> t -> int
+(** Total order: [Null < Bool < Int/Float (numeric order) < Str].  Integers
+    and floats compare numerically with each other, as in SQL. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Accessors raising [Invalid_argument] on a type mismatch. *)
+
+val as_int : t -> int
+val as_float : t -> float
+(** [as_float] also accepts [Int]. *)
+
+val as_string : t -> string
+val as_bool : t -> bool

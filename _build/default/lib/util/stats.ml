@@ -1,0 +1,83 @@
+type t = {
+  mutable data : float array;
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create () =
+  { data = Array.make 16 0.; n = 0; sum = 0.; sumsq = 0.; lo = infinity; hi = neg_infinity }
+
+let add t x =
+  if t.n = Array.length t.data then begin
+    let bigger = Array.make (2 * t.n) 0. in
+    Array.blit t.data 0 bigger 0 t.n;
+    t.data <- bigger
+  end;
+  t.data.(t.n) <- x;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sumsq <- t.sumsq +. (x *. x);
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+
+let stddev t =
+  if t.n < 2 then nan
+  else
+    let n = float_of_int t.n in
+    let var = (t.sumsq -. (t.sum *. t.sum /. n)) /. (n -. 1.) in
+    sqrt (Stdlib.max 0. var)
+
+let min_value t = if t.n = 0 then nan else t.lo
+let max_value t = if t.n = 0 then nan else t.hi
+let values t = Array.sub t.data 0 t.n
+
+let percentile t p =
+  if t.n = 0 then nan
+  else begin
+    let sorted = values t in
+    Array.sort compare sorted;
+    let p = Stdlib.min 1. (Stdlib.max 0. p) in
+    let rank = p *. float_of_int (t.n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then sorted.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median t = percentile t 0.5
+
+type histogram = { h_lo : float; h_hi : float; counts : int array; mutable h_n : int }
+
+let histogram ~lo ~hi ~buckets =
+  assert (buckets > 0 && hi > lo);
+  { h_lo = lo; h_hi = hi; counts = Array.make buckets 0; h_n = 0 }
+
+let hist_add h x =
+  let b = Array.length h.counts in
+  let i =
+    int_of_float (float_of_int b *. ((x -. h.h_lo) /. (h.h_hi -. h.h_lo)))
+  in
+  let i = if i < 0 then 0 else if i >= b then b - 1 else i in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.h_n <- h.h_n + 1
+
+let hist_count h = h.h_n
+let hist_bucket h i = h.counts.(i)
+
+let hist_render h ~width =
+  let b = Array.length h.counts in
+  let peak = Array.fold_left Stdlib.max 1 h.counts in
+  let step = (h.h_hi -. h.h_lo) /. float_of_int b in
+  List.init b (fun i ->
+      let lo = h.h_lo +. (float_of_int i *. step) in
+      let bar = String.make (h.counts.(i) * width / peak) '#' in
+      Printf.sprintf "%10.3f..%-10.3f %6d %s" lo (lo +. step) h.counts.(i) bar)

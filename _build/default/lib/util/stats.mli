@@ -1,0 +1,47 @@
+(** Streaming and batch statistics used by the experiment harness. *)
+
+type t
+(** A mutable accumulator of float observations. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val count : t -> int
+val total : t -> float
+
+val mean : t -> float
+(** Mean of the observations; [nan] when empty. *)
+
+val stddev : t -> float
+(** Sample standard deviation; [nan] when fewer than two observations. *)
+
+val min_value : t -> float
+(** Smallest observation; [nan] when empty. *)
+
+val max_value : t -> float
+(** Largest observation; [nan] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,1\]], by linear interpolation over the
+    sorted observations; [nan] when empty.  Retains all observations, so it
+    is intended for bounded experiment outputs, not unbounded streams. *)
+
+val median : t -> float
+
+val values : t -> float array
+(** A copy of all recorded observations, in insertion order. *)
+
+type histogram
+(** Fixed-bucket histogram over [\[lo, hi)]. *)
+
+val histogram : lo:float -> hi:float -> buckets:int -> histogram
+val hist_add : histogram -> float -> unit
+val hist_count : histogram -> int
+val hist_bucket : histogram -> int -> int
+(** Count in bucket [i]; bucket 0 also holds underflow and the last bucket
+    holds overflow. *)
+
+val hist_render : histogram -> width:int -> string list
+(** ASCII rendering, one line per bucket: range, count, bar. *)

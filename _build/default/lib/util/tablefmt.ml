@@ -1,0 +1,51 @@
+type align = Left | Right
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let align =
+    match align with
+    | Some a ->
+        assert (List.length a = ncols);
+        Array.of_list a
+    | None -> Array.make ncols Right
+  in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols && String.length cell > widths.(i) then
+          widths.(i) <- String.length cell)
+      row
+  in
+  measure header;
+  List.iter measure rows;
+  let buf = Buffer.create 256 in
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    if n <= 0 then cell
+    else
+      match align.(i) with
+      | Left -> cell ^ String.make n ' '
+      | Right -> String.make n ' ' ^ cell
+  in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad i cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  Array.iter
+    (fun w ->
+      Buffer.add_string buf (String.make w '-');
+      Buffer.add_string buf "  ")
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let fprintf ppf ?align ~header rows =
+  Format.fprintf ppf "%s@." (render ?align ~header rows)

@@ -1,0 +1,11 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out a table with a header rule.  Column widths
+    fit the widest cell; [align] defaults to [Right] for every column. *)
+
+val fprintf : Format.formatter -> ?align:align list -> header:string list ->
+  string list list -> unit
+(** Like {!render} but printed to a formatter, followed by a newline. *)

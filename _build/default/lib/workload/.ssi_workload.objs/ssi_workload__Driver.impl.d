@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Hashtbl List Rng Ssi_core Ssi_engine Ssi_sim Ssi_util

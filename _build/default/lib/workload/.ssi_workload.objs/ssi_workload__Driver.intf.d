@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Ssi_core Ssi_engine Ssi_util

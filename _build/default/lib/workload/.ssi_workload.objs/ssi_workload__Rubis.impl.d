@@ -1,0 +1,1 @@
+lib/workload/rubis.ml: Array Driver List Printf Rng Ssi_engine Ssi_storage Ssi_util Value

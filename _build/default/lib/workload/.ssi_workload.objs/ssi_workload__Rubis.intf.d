@@ -1,0 +1,1 @@
+lib/workload/rubis.mli: Driver Ssi_engine Ssi_util

@@ -1,0 +1,1 @@
+lib/workload/sibench.ml: Array Driver List Rng Ssi_engine Ssi_storage Ssi_util Value

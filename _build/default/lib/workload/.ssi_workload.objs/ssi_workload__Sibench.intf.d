@@ -1,0 +1,1 @@
+lib/workload/sibench.mli: Driver Ssi_engine Ssi_util

@@ -1,0 +1,1 @@
+lib/workload/tpcc.ml: Array Driver Hashtbl List Printf Rng Ssi_engine Ssi_storage Ssi_util Value

@@ -1,0 +1,1 @@
+lib/workload/tpcc.mli: Driver Ssi_engine Ssi_util

@@ -1,0 +1,188 @@
+open Ssi_util
+module E = Ssi_engine.Engine
+module Sim = Ssi_sim.Sim
+module Ssi = Ssi_core.Ssi
+
+type mode = SI | SSI | SSI_no_ro_opt | S2PL
+
+let mode_name = function
+  | SI -> "SI"
+  | SSI -> "SSI"
+  | SSI_no_ro_opt -> "SSI (no r/o opt)"
+  | S2PL -> "S2PL"
+
+let all_modes = [ SI; SSI; SSI_no_ro_opt; S2PL ]
+
+let isolation_of_mode = function
+  | SI -> E.Repeatable_read
+  | SSI | SSI_no_ro_opt -> E.Serializable
+  | S2PL -> E.Serializable_2pl
+
+type spec = {
+  name : string;
+  weight : float;
+  read_only : bool;
+  body : Rng.t -> E.txn -> unit;
+}
+
+type bench = {
+  mode : mode;
+  workers : int;
+  duration : float;
+  warmup : float;
+  cpu_cores : int;
+  disks : int;
+  costs : E.costs;
+  seed : int;
+  max_committed_sxacts : int;
+  predlock : Ssi_core.Predlock.config;
+  next_key_gaps : bool;
+}
+
+let in_memory_costs =
+  {
+    E.cpu_per_op = 20e-6;
+    cpu_per_tuple = 1e-6;
+    cpu_per_lock = 0.6e-6;
+    io_per_page = 0.;
+    miss_ratio = 0.;
+    io_commit = 15e-6;
+  }
+
+let disk_bound_costs =
+  {
+    E.cpu_per_op = 20e-6;
+    cpu_per_tuple = 1e-6;
+    cpu_per_lock = 0.6e-6;
+    io_per_page = 2e-3;  (* ~2ms seek on a 15k RPM spindle *)
+    miss_ratio = 0.08;
+    io_commit = 0.4e-3;  (* battery-backed write cache absorbs log flushes *)
+  }
+
+let default_bench =
+  {
+    mode = SSI;
+    workers = 4;
+    duration = 5.0;
+    warmup = 1.0;
+    cpu_cores = 4;
+    disks = 0;
+    costs = in_memory_costs;
+    seed = 42;
+    max_committed_sxacts = 256;
+    predlock = Ssi_core.Predlock.default_config;
+    next_key_gaps = false;
+  }
+
+type result = {
+  committed : int;
+  failures : int;
+  deadlocks : int;
+  sim_seconds : float;
+  throughput : float;
+  failure_rate : float;
+  cpu_busy : float;
+  ssi_summarized : int;
+  ssi_safe_snapshots : int;
+  ssi_conflicts : int;
+}
+
+let pick_spec rng specs total_weight =
+  let x = Rng.float rng total_weight in
+  let rec go acc = function
+    | [] -> invalid_arg "Driver: empty spec list"
+    | [ s ] -> s
+    | s :: rest -> if acc +. s.weight > x then s else go (acc +. s.weight) rest
+  in
+  go 0. specs
+
+let run ~setup ~specs bench =
+  if specs = [] then invalid_arg "Driver.run: no transaction specs";
+  let total_weight = List.fold_left (fun acc s -> acc +. s.weight) 0. specs in
+  let committed = ref 0 in
+  let base_failures = ref 0 in
+  let base_deadlocks = ref 0 in
+  let end_failures = ref 0 in
+  let end_deadlocks = ref 0 in
+  let cpu_busy = ref 0. in
+  let ssi_summarized = ref 0 in
+  let ssi_safe = ref 0 in
+  let ssi_conflicts = ref 0 in
+  Sim.run (fun () ->
+      let cpu = Sim.resource ~capacity:bench.cpu_cores in
+      let disk = if bench.disks > 0 then Some (Sim.resource ~capacity:bench.disks) else None in
+      let charging = ref false in
+      let charge_cpu x = if !charging && x > 0. then Sim.use cpu x in
+      let charge_io x =
+        if !charging && x > 0. then
+          match disk with Some d -> Sim.use d x | None -> Sim.delay x
+      in
+      let ssi_cfg =
+        {
+          Ssi.read_only_opt = bench.mode <> SSI_no_ro_opt;
+          max_committed_sxacts = bench.max_committed_sxacts;
+          predlock = bench.predlock;
+        }
+      in
+      let config =
+        {
+          E.default_config with
+          E.ssi = ssi_cfg;
+          costs = bench.costs;
+          next_key_gaps = bench.next_key_gaps;
+          charge_cpu = Some charge_cpu;
+          charge_io = Some charge_io;
+        }
+      in
+      let db = E.create ~scheduler:Sim.scheduler ~config () in
+      setup db;
+      charging := true;
+      let iso = isolation_of_mode bench.mode in
+      let rng0 = Rng.make bench.seed in
+      let t0 = Sim.now () in
+      let measure_from = t0 +. bench.warmup in
+      let t_end = measure_from +. bench.duration in
+      (* Snapshot the engine's failure counters at the start of the
+         measurement window. *)
+      Sim.spawn (fun () ->
+          Sim.delay bench.warmup;
+          base_failures := (E.stats db).E.serialization_failures;
+          base_deadlocks := (E.stats db).E.deadlocks);
+      for i = 1 to bench.workers do
+        let rng = Rng.make (Hashtbl.hash (bench.seed, i)) in
+        Sim.spawn (fun () ->
+            while Sim.now () < t_end do
+              let spec = pick_spec rng specs total_weight in
+              (try E.retry ~isolation:iso ~read_only:spec.read_only db (fun txn ->
+                   spec.body rng txn)
+               with E.Serialization_failure _ -> ());
+              if Sim.now () >= measure_from && Sim.now () < t_end then incr committed
+            done;
+            ignore rng0)
+      done;
+      Sim.spawn (fun () ->
+          Sim.delay (bench.warmup +. bench.duration);
+          end_failures := (E.stats db).E.serialization_failures;
+          end_deadlocks := (E.stats db).E.deadlocks;
+          let s = E.ssi_stats db in
+          ssi_summarized := s.Ssi.summarized;
+          ssi_safe := s.Ssi.safe_snapshots;
+          ssi_conflicts := s.Ssi.conflicts_flagged;
+          cpu_busy := Sim.busy_time cpu))
+  |> fun final_time ->
+  let failures = !end_failures - !base_failures in
+  let deadlocks = !end_deadlocks - !base_deadlocks in
+  let denom = float_of_int (!committed + failures) in
+  {
+    committed = !committed;
+    failures;
+    deadlocks;
+    sim_seconds = final_time;
+    throughput = float_of_int !committed /. bench.duration;
+    failure_rate = (if denom > 0. then float_of_int failures /. denom else 0.);
+    cpu_busy =
+      !cpu_busy /. (float_of_int bench.cpu_cores *. (bench.warmup +. bench.duration));
+    ssi_summarized = !ssi_summarized;
+    ssi_safe_snapshots = !ssi_safe;
+    ssi_conflicts = !ssi_conflicts;
+  }

@@ -1,0 +1,71 @@
+(** Generic benchmark driver: runs a transaction mix against the engine
+    under the discrete-event simulator and measures throughput, exactly in
+    the shape of the paper's §8 experiments.
+
+    A bench models the hardware as a CPU resource with a fixed number of
+    cores and (optionally) a disk resource with a fixed number of spindles.
+    Engine operations charge virtual CPU/IO time against those resources
+    through the cost model, so CPU overhead (SSI read tracking), blocking
+    (S2PL, write locks) and abort/retry work all show up in committed
+    transactions per simulated second. *)
+
+module E = Ssi_engine.Engine
+
+(** Concurrency-control mode under test — the four series of Figures 4/5. *)
+type mode = SI | SSI | SSI_no_ro_opt | S2PL
+
+val mode_name : mode -> string
+val all_modes : mode list
+
+val isolation_of_mode : mode -> E.isolation
+
+type spec = {
+  name : string;
+  weight : float;  (** relative frequency in the mix *)
+  read_only : bool;  (** declared READ ONLY at BEGIN *)
+  body : Ssi_util.Rng.t -> E.txn -> unit;
+}
+
+type bench = {
+  mode : mode;
+  workers : int;  (** concurrent client sessions *)
+  duration : float;  (** measured simulated seconds *)
+  warmup : float;  (** simulated seconds discarded before measuring *)
+  cpu_cores : int;
+  disks : int;  (** 0 disables the disk resource (I/O charged unqueued) *)
+  costs : E.costs;
+  seed : int;
+  max_committed_sxacts : int;
+  predlock : Ssi_core.Predlock.config;  (** SIREAD promotion thresholds *)
+  next_key_gaps : bool;  (** next-key instead of page index-gap locks *)
+}
+
+val default_bench : bench
+(** SSI, 4 workers, 5 simulated seconds (1s warmup), 4 cores, no disk,
+    in-memory cost model, seed 42. *)
+
+type result = {
+  committed : int;
+  failures : int;  (** serialization failures (including deadlocks) *)
+  deadlocks : int;
+  sim_seconds : float;
+  throughput : float;  (** committed transactions per simulated second *)
+  failure_rate : float;  (** failures / (failures + committed) *)
+  cpu_busy : float;  (** utilisation of the CPU resource, 0..1 *)
+  ssi_summarized : int;  (** committed transactions summarized (§6.2) *)
+  ssi_safe_snapshots : int;  (** read-only transactions that got safe snapshots *)
+  ssi_conflicts : int;  (** rw-antidependencies flagged *)
+}
+
+val run : setup:(E.t -> unit) -> specs:spec list -> bench -> result
+(** Build a fresh engine, run [setup], then drive [bench.workers] workers
+    through the weighted mix for the configured duration, retrying
+    serialization failures (the middleware retry loop of §5.4). *)
+
+val in_memory_costs : E.costs
+(** Cost model of the paper's tmpfs configurations (§8.1, §8.2 in-memory):
+    CPU-dominated, tiny per-lock tracking cost, no I/O. *)
+
+val disk_bound_costs : E.costs
+(** Cost model of the §8.2 disk-bound configuration: page misses cost disk
+    time, commits flush a log. *)

@@ -1,0 +1,155 @@
+open Ssi_storage
+open Ssi_util
+module E = Ssi_engine.Engine
+
+let categories = 20
+let vi i = Value.Int i
+
+(* Monotonic id sources for inserted rows; offset by a large base so they
+   never collide with the ids created at setup.  Collisions between
+   concurrent workers are avoided by reserving id space per next counter. *)
+let bid_counter = ref 0
+let comment_counter = ref 0
+
+let next_id counter =
+  incr counter;
+  1_000_000 + !counter
+
+let rand_user rng ~users = Rng.int rng users
+let rand_item rng ~items = Rng.int rng items
+
+let read_exn txn ~table ~key =
+  match E.read txn ~table ~key with
+  | Some row -> row
+  | None -> failwith (Printf.sprintf "rubis: missing row %s/%s" table (Value.to_string key))
+
+(* Read-only: all items of one category with their current top bid. *)
+let browse_category rng ~items txn =
+  let cat = rand_item rng ~items:categories in
+  let listed = E.index_scan txn ~table:"items" ~index:"items_cat" ~lo:(vi cat) ~hi:(vi cat) in
+  ignore (List.fold_left (fun acc row -> acc + Value.as_int row.(3)) 0 listed);
+  ignore items
+
+(* Read-only: one item and its seller. *)
+let view_item rng ~items txn =
+  let i = rand_item rng ~items in
+  let irow = read_exn txn ~table:"items" ~key:(vi i) in
+  let seller = Value.as_int irow.(1) in
+  ignore (E.read txn ~table:"users" ~key:(vi seller))
+
+(* Read-only: a user profile and the comments about them. *)
+let view_user rng ~users txn =
+  let u = rand_user rng ~users in
+  let _urow = read_exn txn ~table:"users" ~key:(vi u) in
+  let cs = E.index_scan txn ~table:"comments" ~index:"comments_to" ~lo:(vi u) ~hi:(vi u) in
+  ignore (List.length cs)
+
+(* Read-only: all bids on one item. *)
+let view_bid_history rng ~items txn =
+  let i = rand_item rng ~items in
+  let bids = E.index_scan txn ~table:"bids" ~index:"bids_item" ~lo:(vi i) ~hi:(vi i) in
+  ignore (List.length bids)
+
+(* Read/write: insert a bid and raise the item's top bid/bid count. *)
+let place_bid rng ~users ~items txn =
+  let u = rand_user rng ~users and i = rand_item rng ~items in
+  let irow = read_exn txn ~table:"items" ~key:(vi i) in
+  let top = Value.as_int irow.(3) in
+  let amount = top + 1 + Rng.int rng 50 in
+  E.insert txn ~table:"bids" [| vi (next_id bid_counter); vi i; vi u; vi amount |];
+  ignore
+    (E.update txn ~table:"items" ~key:(vi i) ~f:(fun row ->
+         [| row.(0); row.(1); row.(2); vi amount; vi (Value.as_int row.(4) + 1); row.(5) |]))
+
+(* Read/write: buy an item outright — closes the auction. *)
+let buy_now rng ~users ~items txn =
+  let u = rand_user rng ~users and i = rand_item rng ~items in
+  ignore
+    (E.update txn ~table:"items" ~key:(vi i) ~f:(fun row ->
+         [| row.(0); row.(1); row.(2); row.(3); row.(4); vi u |]))
+
+(* Read/write: leave a comment and adjust the target's rating. *)
+let leave_comment rng ~users txn =
+  let from_u = rand_user rng ~users and to_u = rand_user rng ~users in
+  let delta = Rng.int_incl rng (-1) 1 in
+  E.insert txn ~table:"comments"
+    [| vi (next_id comment_counter); vi to_u; vi from_u; vi delta |];
+  ignore
+    (E.update txn ~table:"users" ~key:(vi to_u) ~f:(fun row ->
+         [| row.(0); vi (Value.as_int row.(1) + delta); row.(2) |]))
+
+let setup ~users ~items db =
+  bid_counter := 0;
+  comment_counter := 0;
+  E.create_table db ~name:"users" ~cols:[ "u_id"; "rating"; "balance" ] ~key:"u_id";
+  E.create_table db ~name:"items"
+    ~cols:[ "i_id"; "seller"; "category"; "max_bid"; "nb_bids"; "buyer" ]
+    ~key:"i_id";
+  E.create_table db ~name:"bids" ~cols:[ "b_id"; "i_id"; "u_id"; "amount" ] ~key:"b_id";
+  E.create_table db ~name:"comments" ~cols:[ "c_id"; "to_u"; "from_u"; "rating" ] ~key:"c_id";
+  E.create_index db ~table:"items" ~name:"items_cat" ~column:"category" ();
+  E.create_index db ~table:"bids" ~name:"bids_item" ~column:"i_id" ();
+  E.create_index db ~table:"comments" ~name:"comments_to" ~column:"to_u" ();
+  let rng = Rng.make 17 in
+  E.with_txn db (fun t ->
+      for u = 0 to users - 1 do
+        E.insert t ~table:"users" [| vi u; vi 0; vi 100 |]
+      done;
+      for i = 0 to items - 1 do
+        E.insert t ~table:"items"
+          [|
+            vi i;
+            vi (Rng.int rng users);
+            vi (i mod categories);
+            vi (10 + Rng.int rng 90);
+            vi 0;
+            vi (-1);
+          |]
+      done)
+
+(* The standard bidding mix: 85% read-only / 15% read-write (§8.3). *)
+let specs ~users ~items =
+  [
+    {
+      Driver.name = "browse-category";
+      weight = 0.25;
+      read_only = true;
+      body = (fun rng txn -> browse_category rng ~items txn);
+    };
+    {
+      Driver.name = "view-item";
+      weight = 0.30;
+      read_only = true;
+      body = (fun rng txn -> view_item rng ~items txn);
+    };
+    {
+      Driver.name = "view-user";
+      weight = 0.15;
+      read_only = true;
+      body = (fun rng txn -> view_user rng ~users txn);
+    };
+    {
+      Driver.name = "view-bid-history";
+      weight = 0.15;
+      read_only = true;
+      body = (fun rng txn -> view_bid_history rng ~items txn);
+    };
+    {
+      Driver.name = "place-bid";
+      weight = 0.09;
+      read_only = false;
+      body = (fun rng txn -> place_bid rng ~users ~items txn);
+    };
+    {
+      Driver.name = "buy-now";
+      weight = 0.02;
+      read_only = false;
+      body = (fun rng txn -> buy_now rng ~users ~items txn);
+    };
+    {
+      Driver.name = "leave-comment";
+      weight = 0.04;
+      read_only = false;
+      body = (fun rng txn -> leave_comment rng ~users txn);
+    };
+  ]

@@ -1,0 +1,28 @@
+(** RUBiS (§8.3): an auction-site workload modelled on eBay, with the
+    standard "bidding" mix — 85% read-only interactions (browsing
+    categories, viewing items, bid histories and user profiles) and 15%
+    read/write interactions (placing bids, buying, commenting,
+    registering).
+
+    The characteristic rw-conflict of the paper is kept: queries listing
+    the current bids of all items in a category conflict with concurrent
+    bids on those items. *)
+
+module E = Ssi_engine.Engine
+
+val categories : int
+
+val setup : users:int -> items:int -> E.t -> unit
+
+val specs : users:int -> items:int -> Driver.spec list
+(** The bidding mix (85% read-only by weight). *)
+
+(** Individual interaction bodies (exposed for tests). *)
+
+val browse_category : Ssi_util.Rng.t -> items:int -> E.txn -> unit
+val view_item : Ssi_util.Rng.t -> items:int -> E.txn -> unit
+val view_user : Ssi_util.Rng.t -> users:int -> E.txn -> unit
+val view_bid_history : Ssi_util.Rng.t -> items:int -> E.txn -> unit
+val place_bid : Ssi_util.Rng.t -> users:int -> items:int -> E.txn -> unit
+val buy_now : Ssi_util.Rng.t -> users:int -> items:int -> E.txn -> unit
+val leave_comment : Ssi_util.Rng.t -> users:int -> E.txn -> unit

@@ -1,0 +1,278 @@
+open Ssi_storage
+open Ssi_util
+module E = Ssi_engine.Engine
+
+let districts_per_warehouse = 10
+let customers_per_district = 30
+let items = 100
+let max_lines = 15
+let vi i = Value.Int i
+
+(* Key encodings: composite TPC-C keys flattened into integers. *)
+let district_key ~w ~d = (w * districts_per_warehouse) + d
+let customer_key ~w ~d ~c = (district_key ~w ~d * 1000) + c
+let stock_key ~w ~i = (w * 1000) + i
+let order_key ~w ~d ~o = (district_key ~w ~d * 1_000_000) + o
+let order_line_key ~okey ~line = (okey * 20) + line
+
+(* The item table is read-only; like the paper's modified DBT-2 we cache it
+   outside the database. *)
+let item_price = Array.init items (fun i -> ((i * 37) mod 95) + 5)
+
+let rand_w rng ~warehouses = 1 + Rng.int rng warehouses
+let rand_d rng = Rng.int rng districts_per_warehouse
+let rand_c rng = Rng.nurand rng ~a:255 ~x:0 ~y:(customers_per_district - 1) mod customers_per_district
+let rand_i rng = Rng.nurand rng ~a:255 ~x:0 ~y:(items - 1) mod items
+
+let read_exn txn ~table ~key =
+  match E.read txn ~table ~key with
+  | Some row -> row
+  | None -> failwith (Printf.sprintf "tpcc: missing row %s/%s" table (Value.to_string key))
+
+(* ---- Transactions -------------------------------------------------------- *)
+
+(* NEW-ORDER: allocate the district's next order id, decrement stock for
+   5..15 items, insert the order and its lines. *)
+let new_order rng ~warehouses txn =
+  let w = rand_w rng ~warehouses and d = rand_d rng in
+  let c = rand_c rng in
+  let dkey = district_key ~w ~d in
+  let _wrow = read_exn txn ~table:"warehouse" ~key:(vi w) in
+  let drow = read_exn txn ~table:"district" ~key:(vi dkey) in
+  let o = Value.as_int drow.(3) in
+  ignore
+    (E.update txn ~table:"district" ~key:(vi dkey) ~f:(fun row ->
+         [| row.(0); row.(1); row.(2); vi (Value.as_int row.(3) + 1) |]));
+  let ckey = customer_key ~w ~d ~c in
+  let _crow = read_exn txn ~table:"customer" ~key:(vi ckey) in
+  let okey = order_key ~w ~d ~o in
+  let nlines = 5 + Rng.int rng (max_lines - 4) in
+  let total = ref 0 in
+  for line = 0 to nlines - 1 do
+    let i = rand_i rng in
+    let qty = 1 + Rng.int rng 10 in
+    let amount = item_price.(i) * qty in
+    total := !total + amount;
+    ignore
+      (E.update txn ~table:"stock" ~key:(vi (stock_key ~w ~i)) ~f:(fun row ->
+           let q = Value.as_int row.(3) in
+           let q' = if q - qty < 10 then q - qty + 91 else q - qty in
+           [| row.(0); row.(1); row.(2); vi q' |]));
+    E.insert txn ~table:"order_line"
+      [| vi (order_line_key ~okey ~line); vi okey; vi ckey; vi i; vi qty; vi amount |]
+  done;
+  E.insert txn ~table:"orders" [| vi okey; vi dkey; vi ckey; vi nlines; vi (-1); vi !total |];
+  E.insert txn ~table:"new_order" [| vi okey; vi dkey |]
+
+(* PAYMENT: adjust a customer's balance (warehouse/district YTD totals are
+   omitted, as in the paper's DBT-2 variant). *)
+let payment rng ~warehouses txn =
+  let w = rand_w rng ~warehouses and d = rand_d rng in
+  let c = rand_c rng in
+  let amount = 1 + Rng.int rng 5000 in
+  let _wrow = read_exn txn ~table:"warehouse" ~key:(vi w) in
+  let _drow = read_exn txn ~table:"district" ~key:(vi (district_key ~w ~d)) in
+  ignore
+    (E.update txn ~table:"customer" ~key:(vi (customer_key ~w ~d ~c)) ~f:(fun row ->
+         [|
+           row.(0); row.(1); row.(2);
+           vi (Value.as_int row.(3) - amount);
+           row.(4);
+           vi (Value.as_int row.(5) + amount);
+         |]))
+
+let latest_order_of txn ckey =
+  let orders = E.index_scan txn ~table:"orders" ~index:"orders_cust" ~lo:(vi ckey) ~hi:(vi ckey) in
+  List.fold_left
+    (fun acc row ->
+      let okey = Value.as_int row.(0) in
+      match acc with Some best when best >= okey -> acc | Some _ | None -> Some okey)
+    None orders
+
+(* ORDER-STATUS (read-only): a customer's latest order and its lines. *)
+let order_status rng ~warehouses txn =
+  let w = rand_w rng ~warehouses and d = rand_d rng in
+  let c = rand_c rng in
+  let ckey = customer_key ~w ~d ~c in
+  let _crow = read_exn txn ~table:"customer" ~key:(vi ckey) in
+  match latest_order_of txn ckey with
+  | None -> ()
+  | Some okey ->
+      let lines =
+        E.index_scan txn ~table:"order_line" ~index:"order_line_pkey"
+          ~lo:(vi (order_line_key ~okey ~line:0))
+          ~hi:(vi (order_line_key ~okey ~line:19))
+      in
+      ignore (List.length lines)
+
+(* DELIVERY: take the oldest undelivered order of one district, mark it
+   delivered and credit the customer. *)
+let delivery rng ~warehouses txn =
+  let w = rand_w rng ~warehouses and d = rand_d rng in
+  let dkey = district_key ~w ~d in
+  let pending = E.index_scan txn ~table:"new_order" ~index:"new_order_d" ~lo:(vi dkey) ~hi:(vi dkey) in
+  let oldest =
+    List.fold_left
+      (fun acc row ->
+        let okey = Value.as_int row.(0) in
+        match acc with Some best when best <= okey -> acc | Some _ | None -> Some okey)
+      None pending
+  in
+  match oldest with
+  | None -> ()
+  | Some okey ->
+      if E.delete txn ~table:"new_order" ~key:(vi okey) then begin
+        let orow = read_exn txn ~table:"orders" ~key:(vi okey) in
+        let ckey = Value.as_int orow.(2) and total = Value.as_int orow.(5) in
+        ignore
+          (E.update txn ~table:"orders" ~key:(vi okey) ~f:(fun row ->
+               [| row.(0); row.(1); row.(2); row.(3); vi 7; row.(5) |]));
+        ignore
+          (E.update txn ~table:"customer" ~key:(vi ckey) ~f:(fun row ->
+               [|
+                 row.(0); row.(1); row.(2);
+                 vi (Value.as_int row.(3) + total);
+                 row.(4); row.(5);
+               |]))
+      end
+
+(* STOCK-LEVEL (read-only): items in the district's 20 most recent orders
+   with stock below a threshold. *)
+let stock_level rng ~warehouses txn =
+  let w = rand_w rng ~warehouses and d = rand_d rng in
+  let dkey = district_key ~w ~d in
+  let threshold = 10 + Rng.int rng 11 in
+  let drow = read_exn txn ~table:"district" ~key:(vi dkey) in
+  let next_o = Value.as_int drow.(3) in
+  let lo_order = max 0 (next_o - 20) in
+  let lines =
+    E.index_scan txn ~table:"order_line" ~index:"order_line_pkey"
+      ~lo:(vi (order_line_key ~okey:(order_key ~w ~d ~o:lo_order) ~line:0))
+      ~hi:(vi (order_line_key ~okey:(order_key ~w ~d ~o:next_o) ~line:19))
+  in
+  let seen = Hashtbl.create 32 in
+  let low = ref 0 in
+  List.iter
+    (fun row ->
+      let i = Value.as_int row.(3) in
+      if not (Hashtbl.mem seen i) then begin
+        Hashtbl.add seen i ();
+        let srow = read_exn txn ~table:"stock" ~key:(vi (stock_key ~w ~i)) in
+        if Value.as_int srow.(3) < threshold then incr low
+      end)
+    lines;
+  ignore !low
+
+(* CREDIT-CHECK (Cahill's TPC-C++ addition): compare the customer's balance
+   against their outstanding orders and update the credit flag.  Reads what
+   NEW-ORDER inserts and writes what PAYMENT reads/writes, creating the
+   dependency cycle that makes the workload non-serializable under SI. *)
+let credit_check rng ~warehouses txn =
+  let w = rand_w rng ~warehouses and d = rand_d rng in
+  let c = rand_c rng in
+  let ckey = customer_key ~w ~d ~c in
+  let crow = read_exn txn ~table:"customer" ~key:(vi ckey) in
+  let balance = Value.as_int crow.(3) in
+  let orders = E.index_scan txn ~table:"orders" ~index:"orders_cust" ~lo:(vi ckey) ~hi:(vi ckey) in
+  let outstanding =
+    List.fold_left
+      (fun acc row ->
+        if Value.as_int row.(4) < 0 (* not yet delivered *) then
+          acc + Value.as_int row.(5)
+        else acc)
+      0 orders
+  in
+  let good = balance + 50_000 > outstanding in
+  ignore
+    (E.update txn ~table:"customer" ~key:(vi ckey) ~f:(fun row ->
+         [| row.(0); row.(1); row.(2); row.(3); Value.Bool good; row.(5) |]))
+
+(* ---- Setup ------------------------------------------------------------------ *)
+
+let setup ~warehouses db =
+  E.create_table db ~name:"warehouse" ~cols:[ "w_id"; "tax" ] ~key:"w_id";
+  E.create_table db ~name:"district" ~cols:[ "d_key"; "w_id"; "tax"; "next_o_id" ] ~key:"d_key";
+  E.create_table db ~name:"customer"
+    ~cols:[ "c_key"; "d_key"; "name"; "balance"; "credit_ok"; "ytd_payment" ]
+    ~key:"c_key";
+  E.create_table db ~name:"stock" ~cols:[ "s_key"; "i_id"; "w_id"; "qty" ] ~key:"s_key";
+  E.create_table db ~name:"orders"
+    ~cols:[ "o_key"; "d_key"; "c_key"; "lines"; "carrier"; "total" ]
+    ~key:"o_key";
+  E.create_table db ~name:"order_line"
+    ~cols:[ "ol_key"; "o_key"; "c_key"; "i_id"; "qty"; "amount" ]
+    ~key:"ol_key";
+  E.create_table db ~name:"new_order" ~cols:[ "no_key"; "d_key" ] ~key:"no_key";
+  E.create_index db ~table:"orders" ~name:"orders_cust" ~column:"c_key" ();
+  E.create_index db ~table:"new_order" ~name:"new_order_d" ~column:"d_key" ();
+  let rng = Rng.make 11 in
+  E.with_txn db (fun t ->
+      for w = 1 to warehouses do
+        E.insert t ~table:"warehouse" [| vi w; vi (Rng.int rng 20) |];
+        for d = 0 to districts_per_warehouse - 1 do
+          E.insert t ~table:"district" [| vi (district_key ~w ~d); vi w; vi (Rng.int rng 20); vi 1 |];
+          for c = 0 to customers_per_district - 1 do
+            E.insert t ~table:"customer"
+              [|
+                vi (customer_key ~w ~d ~c);
+                vi (district_key ~w ~d);
+                Value.Str (Printf.sprintf "c-%d-%d-%d" w d c);
+                vi 1000;
+                Value.Bool true;
+                vi 0;
+              |]
+          done
+        done;
+        for i = 0 to items - 1 do
+          E.insert t ~table:"stock" [| vi (stock_key ~w ~i); vi i; vi w; vi (50 + Rng.int rng 50) |]
+        done
+      done);
+  (* Seed a couple of orders per district so the read-only transactions
+     have data from the start. *)
+  let seed_rng = Rng.make 13 in
+  for _ = 1 to 2 * warehouses * districts_per_warehouse do
+    E.retry db (fun t -> new_order seed_rng ~warehouses t)
+  done
+
+let specs ~warehouses ~ro_fraction =
+  if ro_fraction < 0. || ro_fraction > 1. then invalid_arg "Tpcc.specs: bad ro_fraction";
+  let rw = 1. -. ro_fraction in
+  [
+    {
+      Driver.name = "new-order";
+      weight = 0.45 *. rw;
+      read_only = false;
+      body = (fun rng txn -> new_order rng ~warehouses txn);
+    };
+    {
+      Driver.name = "payment";
+      weight = 0.43 *. rw;
+      read_only = false;
+      body = (fun rng txn -> payment rng ~warehouses txn);
+    };
+    {
+      Driver.name = "delivery";
+      weight = 0.04 *. rw;
+      read_only = false;
+      body = (fun rng txn -> delivery rng ~warehouses txn);
+    };
+    {
+      Driver.name = "credit-check";
+      weight = 0.08 *. rw;
+      read_only = false;
+      body = (fun rng txn -> credit_check rng ~warehouses txn);
+    };
+    {
+      Driver.name = "order-status";
+      weight = 0.5 *. ro_fraction;
+      read_only = true;
+      body = (fun rng txn -> order_status rng ~warehouses txn);
+    };
+    {
+      Driver.name = "stock-level";
+      weight = 0.5 *. ro_fraction;
+      read_only = true;
+      body = (fun rng txn -> stock_level rng ~warehouses txn);
+    };
+  ]
+  |> List.filter (fun s -> s.Driver.weight > 0.)

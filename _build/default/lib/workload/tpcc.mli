@@ -1,0 +1,35 @@
+(** DBT-2++ (§8.2): a compact TPC-C-style transaction-processing workload
+    extended with Cahill's "credit check" transaction, which can create a
+    cycle of dependencies when run concurrently with NEW-ORDER and PAYMENT
+    (plain TPC-C is serializable under snapshot isolation, so it cannot
+    exercise SSI).
+
+    The schema is scaled down (10 districts per warehouse, 30 customers per
+    district, 100 items) but keeps TPC-C's contention structure: the
+    district row's next-order-id counter, stock decrements, and per-customer
+    balance updates.  As in the paper's modified DBT-2, the warehouse and
+    district year-to-date totals are omitted to remove artificial contention
+    points, and the read-only item table is cached outside the database.
+
+    The read-only fraction of the mix ([ro_fraction]) scales the share of
+    ORDER-STATUS and STOCK-LEVEL transactions while keeping the remaining
+    transaction proportions identical — the x-axis of Figure 5. *)
+
+module E = Ssi_engine.Engine
+
+val districts_per_warehouse : int
+val customers_per_district : int
+val items : int
+
+val setup : warehouses:int -> E.t -> unit
+
+val specs : warehouses:int -> ro_fraction:float -> Driver.spec list
+
+(** Individual transaction bodies (exposed for tests). *)
+
+val new_order : Ssi_util.Rng.t -> warehouses:int -> E.txn -> unit
+val payment : Ssi_util.Rng.t -> warehouses:int -> E.txn -> unit
+val order_status : Ssi_util.Rng.t -> warehouses:int -> E.txn -> unit
+val delivery : Ssi_util.Rng.t -> warehouses:int -> E.txn -> unit
+val stock_level : Ssi_util.Rng.t -> warehouses:int -> E.txn -> unit
+val credit_check : Ssi_util.Rng.t -> warehouses:int -> E.txn -> unit

@@ -1,0 +1,1 @@
+test/test_anomalies.ml: Alcotest Array List Ssi_engine Ssi_storage Value

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest List Option Printf QCheck QCheck_alcotest Ssi_btree Ssi_storage Value

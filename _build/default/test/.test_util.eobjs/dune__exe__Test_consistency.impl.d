@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Array Format Hashtbl List Printf QCheck QCheck_alcotest Ssi_engine Ssi_replication Ssi_sim Ssi_storage Ssi_util Value

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Fun List Printf Ssi_engine Ssi_sim Ssi_storage Ssi_util String Value

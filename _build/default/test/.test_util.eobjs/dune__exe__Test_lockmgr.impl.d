@@ -1,0 +1,1 @@
+test/test_lockmgr.ml: Alcotest Format List Ssi_lockmgr Ssi_sim Ssi_storage Ssi_util Value

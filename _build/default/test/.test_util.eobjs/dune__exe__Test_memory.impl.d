@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array List Printf Ssi_core Ssi_engine Ssi_storage Value

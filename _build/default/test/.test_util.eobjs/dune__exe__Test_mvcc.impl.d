@@ -1,0 +1,1 @@
+test/test_mvcc.ml: Alcotest Heap List Schema Ssi_mvcc Ssi_storage Value

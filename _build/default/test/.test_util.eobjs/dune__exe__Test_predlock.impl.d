@@ -1,0 +1,1 @@
+test/test_predlock.ml: Alcotest List Ssi_core Ssi_storage String Value

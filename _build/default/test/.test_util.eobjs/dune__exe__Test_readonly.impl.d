@@ -1,0 +1,1 @@
+test/test_readonly.ml: Alcotest Array Ssi_engine Ssi_sim Ssi_storage Ssi_util Value

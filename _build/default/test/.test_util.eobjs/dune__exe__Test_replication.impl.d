@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Array Hashtbl List Ssi_engine Ssi_replication Ssi_sim Ssi_storage Value

@@ -1,0 +1,1 @@
+test/test_s2pl.ml: Alcotest Array List Ssi_core Ssi_engine Ssi_sim Ssi_storage Value

@@ -1,0 +1,1 @@
+test/test_serializability.ml: Alcotest List Oracle Printf Ssi_engine Test_oracle

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Rng Ssi_sim Ssi_util Waitq

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array List Printf Ssi_core Ssi_engine Ssi_sql Ssi_storage String Value

@@ -1,0 +1,1 @@
+test/test_ssi.ml: Alcotest List Printf Ssi_core Ssi_mvcc Ssi_storage String Value

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Heap List QCheck QCheck_alcotest Schema Ssi_storage Value

@@ -1,0 +1,1 @@
+test/test_subxact.ml: Alcotest Array Ssi_engine Ssi_storage Value

@@ -1,0 +1,1 @@
+test/test_twophase.ml: Alcotest Array Ssi_engine Ssi_storage Ssi_util Value

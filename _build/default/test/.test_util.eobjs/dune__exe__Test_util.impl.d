@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float List Pqueue QCheck QCheck_alcotest Rng Ssi_util Stats String Tablefmt Waitq

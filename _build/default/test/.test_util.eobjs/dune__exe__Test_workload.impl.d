@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Driver List Printf Rubis Sibench Ssi_engine Ssi_storage Ssi_util Ssi_workload Tpcc

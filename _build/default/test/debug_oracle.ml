@@ -1,0 +1,19 @@
+(* Developer tool: replay one oracle seed with engine/lock tracing on
+   stderr and print any serialization-graph cycle found.
+
+     dune exec test/debug_oracle.exe -- <seed> [ssi]    (default: S2PL)   *)
+
+open Test_oracle
+module E = Ssi_engine.Engine
+
+let () =
+  let seed = try int_of_string Sys.argv.(1) with _ -> 39 in
+  let iso =
+    if Array.length Sys.argv > 2 && Sys.argv.(2) = "ssi" then E.Serializable
+    else E.Serializable_2pl
+  in
+  let cfg = { Oracle.default_cfg with Oracle.seed } in
+  let h = Oracle.run_history ~tracer:prerr_endline ~isolation:iso cfg in
+  (match Oracle.check_serializable h with
+  | Ok () -> print_endline "serializable (no repro)"
+  | Error cycle -> print_string (Oracle.pp_cycle h cycle))

@@ -1,0 +1,1 @@
+test/oracle_lib/oracle.ml: Array Buffer Hashtbl Int List Map Printf Ssi_core Ssi_engine Ssi_sim Ssi_storage Ssi_util String Value

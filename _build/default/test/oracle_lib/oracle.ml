@@ -1,0 +1,306 @@
+(* Serializability oracle: runs randomly-generated concurrent histories on
+   one table and checks the committed transactions' full multiversion
+   serialization graph for cycles (Adya's DSG, paper §3.1).
+
+   Every write stamps the row with the writer's xid, so a reader knows
+   exactly which version it saw.  The version order of a key is its
+   writers' commit order (write locks guarantee this under snapshot
+   isolation).  Edges:
+
+     wr: Ti wrote the version Tj read               -> Ti before Tj
+     ww: Ti wrote the version Tj replaced           -> Ti before Tj
+     rw: Tj read the version (or absence) that Ti's
+         write replaced (or filled)                 -> Tj before Ti
+
+   A cycle means the history is non-serializable.  SSI and S2PL histories
+   must always be acyclic; unconstrained snapshot-isolation histories on
+   this workload frequently are not, which validates the checker itself. *)
+
+open Ssi_storage
+module E = Ssi_engine.Engine
+module Sim = Ssi_sim.Sim
+module Rng = Ssi_util.Rng
+
+let table = "oracle"
+
+type committed = {
+  xid : int;
+  reads : (int * int) list;  (** key, xid of the version read (0 = absent) *)
+  writes : int list;  (** keys written *)
+  order : int;  (** commit order index *)
+}
+
+type history = { committed : committed list }
+
+(* ---- Running random histories --------------------------------------------- *)
+
+type cfg = {
+  keys : int;
+  workers : int;
+  txns_per_worker : int;
+  ops_per_txn : int;
+  scan_bias : float;  (** probability an op is a small range scan *)
+  write_bias : float;  (** probability an op is a write *)
+  delete_bias : float;  (** probability an op is a delete *)
+  seed : int;
+  max_committed_sxacts : int;  (** stress summarization (§6.2) when small *)
+  next_key_gaps : bool;  (** next-key index-gap locking (§5.2.1 future work) *)
+}
+
+let default_cfg =
+  {
+    keys = 12;
+    workers = 4;
+    txns_per_worker = 12;
+    ops_per_txn = 4;
+    scan_bias = 0.25;
+    write_bias = 0.45;
+    delete_bias = 0.08;
+    seed = 1;
+    max_committed_sxacts = 64;
+    next_key_gaps = false;
+  }
+
+let contended_cfg =
+  { default_cfg with keys = 5; workers = 6; ops_per_txn = 5; write_bias = 0.55 }
+
+let summarizing_cfg = { contended_cfg with max_committed_sxacts = 1 }
+let nextkey_cfg = { contended_cfg with next_key_gaps = true }
+
+let sim_costs =
+  { E.zero_costs with E.cpu_per_op = 80e-6; cpu_per_tuple = 4e-6; io_commit = 40e-6 }
+
+(* One transaction body: random point reads, small scans, and writes whose
+   stamped value identifies this transaction.  Returns the read/write log. *)
+let txn_body rng cfg t =
+  let reads = ref [] and writes = ref [] in
+  let me = E.xid t in
+  for _ = 1 to cfg.ops_per_txn do
+    let k = Rng.int rng cfg.keys in
+    let p = Rng.float rng 1.0 in
+    if p < cfg.delete_bias then begin
+      (* Delete + reinsert a tombstone stamped with this txn: readers can
+         always tell which "version" of the key they observed, keeping the
+         serialization-graph construction exact. *)
+      if E.delete t ~table ~key:(Value.Int k) then begin
+        (try E.insert t ~table [| Value.Int k; Value.Int me |]
+         with E.Duplicate_key _ -> ());
+        writes := k :: !writes
+      end
+    end
+    else if p < cfg.delete_bias +. cfg.write_bias then begin
+      let updated =
+        E.update t ~table ~key:(Value.Int k) ~f:(fun row -> [| row.(0); Value.Int me |])
+      in
+      let wrote =
+        updated
+        ||
+        (* The key may exist in the latest committed state even though our
+           snapshot does not see it; such inserts fail and write nothing. *)
+        try
+          E.insert t ~table [| Value.Int k; Value.Int me |];
+          true
+        with E.Duplicate_key _ -> false
+      in
+      if wrote then writes := k :: !writes
+    end
+    else if p < cfg.delete_bias +. cfg.write_bias +. cfg.scan_bias then begin
+      let hi = min (cfg.keys - 1) (k + 3) in
+      let rows =
+        E.index_scan t ~table ~index:(table ^ "_pkey") ~lo:(Value.Int k) ~hi:(Value.Int hi)
+      in
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun row -> Hashtbl.replace seen (Value.as_int row.(0)) (Value.as_int row.(1)))
+        rows;
+      for key = k to hi do
+        let version = match Hashtbl.find_opt seen key with Some w -> w | None -> 0 in
+        reads := (key, version) :: !reads
+      done
+    end
+    else begin
+      let version =
+        match E.read t ~table ~key:(Value.Int k) with
+        | Some row -> Value.as_int row.(1)
+        | None -> 0
+      in
+      reads := (k, version) :: !reads
+    end
+  done;
+  (List.rev !reads, List.rev !writes)
+
+let run_history ?tracer ~isolation cfg =
+  let log = ref [] in
+  let order = ref 0 in
+  let config =
+    {
+      E.default_config with
+      E.costs = sim_costs;
+      next_key_gaps = cfg.next_key_gaps;
+      ssi =
+        {
+          Ssi_core.Ssi.default_config with
+          Ssi_core.Ssi.max_committed_sxacts = cfg.max_committed_sxacts;
+        };
+    }
+  in
+  let db = E.create ~scheduler:Sim.scheduler ~config () in
+  (match tracer with
+  | Some f -> E.set_tracer db (Some (fun line -> f (Printf.sprintf "%.6f %s" (Sim.now ()) line)))
+  | None -> ());
+  ignore
+    (Sim.run (fun () ->
+         E.create_table db ~name:table ~cols:[ "k"; "writer" ] ~key:"k";
+         (* Seed half the keys so updates and inserts both occur. *)
+         E.with_txn db (fun t ->
+             for k = 0 to (cfg.keys / 2) - 1 do
+               E.insert t ~table [| Value.Int k; Value.Int (E.xid t) |]
+             done);
+         for w = 1 to cfg.workers do
+           let rng = Rng.make (Hashtbl.hash (cfg.seed, w)) in
+           Sim.spawn (fun () ->
+               for _ = 1 to cfg.txns_per_worker do
+                 (try
+                    let xid = ref 0 and body = ref ([], []) in
+                    E.with_txn ~isolation db (fun t ->
+                        xid := E.xid t;
+                        body := txn_body rng cfg t);
+                    incr order;
+                    let reads, writes = !body in
+                    log := { xid = !xid; reads; writes; order = !order } :: !log
+                  with
+                 | E.Serialization_failure _ -> ()
+                 | Ssi_util.Waitq.Would_block -> ());
+                 Sim.delay (Rng.float rng 0.0005)
+               done)
+         done));
+  { committed = List.rev !log }
+
+(* ---- Building and checking the serialization graph -------------------------- *)
+
+module Int_map = Map.Make (Int)
+
+type edge_kind = Wr | Ww | Rw
+
+let edge_kind_name = function Wr -> "wr" | Ww -> "ww" | Rw -> "rw"
+
+(* All edges of the DSG, as (from, kind, to). *)
+let edges_of { committed } =
+  let setup_writer = 1 in
+  (* Version order per key: the setup transaction's version (if the key was
+     seeded) followed by committed writers in commit order. *)
+  let writers_of_key =
+    List.fold_left
+      (fun acc txn ->
+        List.fold_left
+          (fun acc k ->
+            let existing = try Int_map.find k acc with Not_found -> [] in
+            Int_map.add k ((txn.order, txn.xid) :: existing) acc)
+          acc
+          (List.sort_uniq compare txn.writes))
+      Int_map.empty committed
+  in
+  let version_order k =
+    let writers =
+      try List.sort compare (Int_map.find k writers_of_key) with Not_found -> []
+    in
+    List.map snd writers
+  in
+  let edges = ref [] in
+  let add_edge a kind b = if a <> b then edges := (a, kind, b) :: !edges in
+  (* ww edges along each key's version order. *)
+  Int_map.iter
+    (fun _k writers ->
+      let ordered = List.map snd (List.sort compare writers) in
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+            add_edge a Ww b;
+            pairs rest
+        | [ _ ] | [] -> ()
+      in
+      pairs ordered)
+    writers_of_key;
+  let committed_xids =
+    List.fold_left (fun acc t -> Int_map.add t.xid t acc) Int_map.empty committed
+  in
+  List.iter
+    (fun txn ->
+      List.iter
+        (fun (k, version) ->
+          (* wr edge from the writer of the version read (setup and own
+             writes excluded). *)
+          if version <> 0 && version <> txn.xid && version <> setup_writer
+             && Int_map.mem version committed_xids
+          then add_edge version Wr txn.xid;
+          (* rw edge to the writer of the next version after the one read:
+             the first committed writer of [k] whose version the reader did
+             not see. *)
+          let order = version_order k in
+          let rec successor = function
+            | [] -> None
+            | w :: rest ->
+                if version = 0 || version = setup_writer then
+                  (* Read absence or the seed version: the first committed
+                     writer overwrote what we read. *)
+                  Some w
+                else if w = version then ( match rest with [] -> None | n :: _ -> Some n)
+                else successor rest
+          in
+          (match successor order with
+          | Some w when w <> txn.xid -> add_edge txn.xid Rw w
+          | Some _ | None -> ()))
+        txn.reads)
+    committed;
+  List.sort_uniq compare !edges
+
+(* Depth-first cycle search; returns one cycle as a list of nodes. *)
+let find_cycle edges =
+  let succ = Hashtbl.create 64 in
+  List.iter (fun (a, k, b) -> Hashtbl.add succ a (k, b)) edges;
+  let color = Hashtbl.create 64 in
+  let nodes = List.sort_uniq compare (List.concat_map (fun (a, _, b) -> [ a; b ]) edges) in
+  let exception Found of int list in
+  let rec dfs path node =
+    match Hashtbl.find_opt color node with
+    | Some `Done -> ()
+    | Some `Active ->
+        let rec cut = function
+          | [] -> []
+          | x :: rest -> if x = node then [ x ] else x :: cut rest
+        in
+        raise (Found (List.rev (cut path)))
+    | None ->
+        Hashtbl.replace color node `Active;
+        List.iter (fun (_, next) -> dfs (node :: path) next) (Hashtbl.find_all succ node);
+        Hashtbl.replace color node `Done
+  in
+  try
+    List.iter (fun n -> dfs [] n) nodes;
+    None
+  with Found cycle -> Some cycle
+
+let check_serializable history =
+  match find_cycle (edges_of history) with
+  | None -> Ok ()
+  | Some cycle -> Error cycle
+
+let pp_cycle history cycle =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "cycle: %s\n" (String.concat " -> " (List.map string_of_int cycle)));
+  let edges = edges_of history in
+  List.iter
+    (fun (a, k, b) ->
+      if List.mem a cycle && List.mem b cycle then
+        Buffer.add_string buf (Printf.sprintf "  %d --%s--> %d\n" a (edge_kind_name k) b))
+    edges;
+  List.iter
+    (fun t ->
+      if List.mem t.xid cycle then
+        Buffer.add_string buf
+          (Printf.sprintf "  txn %d (commit #%d) reads=[%s] writes=[%s]\n" t.xid t.order
+             (String.concat ";"
+                (List.map (fun (k, v) -> Printf.sprintf "%d@%d" k v) t.reads))
+             (String.concat ";" (List.map string_of_int t.writes))))
+    history.committed;
+  Buffer.contents buf

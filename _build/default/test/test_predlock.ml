@@ -1,0 +1,211 @@
+(* The SSI lock manager: SIREAD lock bookkeeping, granularity promotion,
+   conflict lookup order, summarization, DDL transfers (§5.2, §6.2). *)
+
+open Ssi_storage
+module Predlock = Ssi_core.Predlock
+open Predlock
+
+let vi i = Value.Int i
+
+let small_config =
+  { max_tuple_locks_per_page = 2; max_page_locks_per_relation = 2; max_page_locks_per_index = 2 }
+
+let test_tuple_lock_and_lookup () =
+  let t = create () in
+  lock_tuple t ~owner:1 ~rel:"r" ~key:(vi 1) ~page:0;
+  let r = readers_for_write t ~rel:"r" ~key:(vi 1) ~page:0 in
+  Alcotest.(check (list int)) "reader found" [ 1 ] r.xids;
+  let r2 = readers_for_write t ~rel:"r" ~key:(vi 2) ~page:0 in
+  Alcotest.(check (list int)) "other key clear" [] r2.xids
+
+let test_page_lock_covers_tuples () =
+  let t = create () in
+  lock_page t ~owner:1 ~rel:"r" ~page:3;
+  let r = readers_for_write t ~rel:"r" ~key:(vi 99) ~page:3 in
+  Alcotest.(check (list int)) "page lock covers any tuple on it" [ 1 ] r.xids
+
+let test_relation_lock_covers_all () =
+  let t = create () in
+  lock_relation t ~owner:1 ~rel:"r";
+  let r = readers_for_write t ~rel:"r" ~key:(vi 5) ~page:77 in
+  Alcotest.(check (list int)) "relation lock covers everything" [ 1 ] r.xids
+
+let test_promotion_tuple_to_page () =
+  let t = create ~config:small_config () in
+  lock_tuple t ~owner:1 ~rel:"r" ~key:(vi 1) ~page:0;
+  lock_tuple t ~owner:1 ~rel:"r" ~key:(vi 2) ~page:0;
+  Alcotest.(check bool) "no page lock yet" false (holds t ~owner:1 (Page ("r", 0)));
+  lock_tuple t ~owner:1 ~rel:"r" ~key:(vi 3) ~page:0;
+  Alcotest.(check bool) "promoted to page" true (holds t ~owner:1 (Page ("r", 0)));
+  Alcotest.(check bool) "tuple locks dropped" false (holds t ~owner:1 (Tuple ("r", vi 1)));
+  (* Coverage is preserved. *)
+  let r = readers_for_write t ~rel:"r" ~key:(vi 1) ~page:0 in
+  Alcotest.(check (list int)) "still covered" [ 1 ] r.xids;
+  Alcotest.(check bool) "promotions counted" true (promotions t > 0)
+
+let test_promotion_page_to_relation () =
+  let t = create ~config:small_config () in
+  lock_page t ~owner:1 ~rel:"r" ~page:0;
+  lock_page t ~owner:1 ~rel:"r" ~page:1;
+  lock_page t ~owner:1 ~rel:"r" ~page:2;
+  Alcotest.(check bool) "promoted to relation" true (holds t ~owner:1 (Relation "r"));
+  Alcotest.(check bool) "page locks dropped" false (holds t ~owner:1 (Page ("r", 0)));
+  Alcotest.(check int) "single lock left" 1 (owner_lock_count t 1)
+
+let test_promotion_index () =
+  let t = create ~config:small_config () in
+  lock_index_page t ~owner:1 ~index:"i" ~page:0;
+  lock_index_page t ~owner:1 ~index:"i" ~page:1;
+  lock_index_page t ~owner:1 ~index:"i" ~page:2;
+  Alcotest.(check bool) "whole-index lock" true (holds t ~owner:1 (Index_rel "i"));
+  let r = readers_for_index_insert t ~index:"i" ~page:9 in
+  Alcotest.(check (list int)) "covers all pages" [ 1 ] r.xids
+
+let test_no_finer_lock_under_coarser () =
+  let t = create () in
+  lock_relation t ~owner:1 ~rel:"r";
+  lock_page t ~owner:1 ~rel:"r" ~page:0;
+  lock_tuple t ~owner:1 ~rel:"r" ~key:(vi 1) ~page:0;
+  Alcotest.(check int) "only the relation lock" 1 (owner_lock_count t 1)
+
+let test_unlock_tuple () =
+  let t = create () in
+  lock_tuple t ~owner:1 ~rel:"r" ~key:(vi 1) ~page:0;
+  unlock_tuple t ~owner:1 ~rel:"r" ~key:(vi 1);
+  let r = readers_for_write t ~rel:"r" ~key:(vi 1) ~page:0 in
+  Alcotest.(check (list int)) "dropped" [] r.xids;
+  (* Dropping a promoted-away tuple lock is a no-op, not an error. *)
+  lock_page t ~owner:1 ~rel:"r" ~page:0;
+  unlock_tuple t ~owner:1 ~rel:"r" ~key:(vi 1);
+  Alcotest.(check bool) "page lock untouched" true (holds t ~owner:1 (Page ("r", 0)))
+
+let test_multiple_owners () =
+  let t = create () in
+  lock_tuple t ~owner:1 ~rel:"r" ~key:(vi 1) ~page:0;
+  lock_tuple t ~owner:2 ~rel:"r" ~key:(vi 1) ~page:0;
+  lock_relation t ~owner:3 ~rel:"r";
+  let r = readers_for_write t ~rel:"r" ~key:(vi 1) ~page:0 in
+  (match r.xids with
+  | 3 :: rest ->
+      Alcotest.(check (list int)) "tuple readers follow" [ 1; 2 ] (List.sort compare rest)
+  | other ->
+      Alcotest.failf "expected relation reader first, got [%s]"
+        (String.concat ";" (List.map string_of_int other)))
+
+let test_release_owner () =
+  let t = create () in
+  lock_tuple t ~owner:1 ~rel:"r" ~key:(vi 1) ~page:0;
+  lock_relation t ~owner:1 ~rel:"s";
+  release_owner t 1;
+  Alcotest.(check int) "no locks" 0 (total_lock_count t);
+  Alcotest.(check int) "owner cleared" 0 (owner_lock_count t 1)
+
+let test_summarize_owner () =
+  let t = create () in
+  lock_tuple t ~owner:1 ~rel:"r" ~key:(vi 1) ~page:0;
+  summarize_owner t 1 ~cseq:42;
+  let r = readers_for_write t ~rel:"r" ~key:(vi 1) ~page:0 in
+  Alcotest.(check (list int)) "no named reader" [] r.xids;
+  Alcotest.(check (option int)) "dummy owner with cseq" (Some 42) r.old_committed;
+  (* A later summarized holder raises the recorded cseq. *)
+  lock_tuple t ~owner:2 ~rel:"r" ~key:(vi 1) ~page:0;
+  summarize_owner t 2 ~cseq:50;
+  let r = readers_for_write t ~rel:"r" ~key:(vi 1) ~page:0 in
+  Alcotest.(check (option int)) "latest cseq" (Some 50) r.old_committed
+
+let test_cleanup_old_committed () =
+  let t = create () in
+  lock_tuple t ~owner:1 ~rel:"r" ~key:(vi 1) ~page:0;
+  summarize_owner t 1 ~cseq:10;
+  cleanup_old_committed t ~before:10;
+  let r = readers_for_write t ~rel:"r" ~key:(vi 1) ~page:0 in
+  Alcotest.(check (option int)) "not yet stale (cseq = horizon)" (Some 10) r.old_committed;
+  cleanup_old_committed t ~before:11;
+  let r = readers_for_write t ~rel:"r" ~key:(vi 1) ~page:0 in
+  Alcotest.(check (option int)) "cleaned" None r.old_committed;
+  Alcotest.(check int) "table empty" 0 (total_lock_count t)
+
+let test_index_page_split_copies () =
+  let t = create () in
+  lock_index_page t ~owner:1 ~index:"i" ~page:0;
+  lock_index_page t ~owner:2 ~index:"i" ~page:0;
+  summarize_owner t 2 ~cseq:7;
+  on_index_page_split t ~index:"i" ~old_page:0 ~new_page:5;
+  let r = readers_for_index_insert t ~index:"i" ~page:5 in
+  Alcotest.(check (list int)) "named owner copied" [ 1 ] r.xids;
+  Alcotest.(check (option int)) "dummy copied" (Some 7) r.old_committed;
+  let r0 = readers_for_index_insert t ~index:"i" ~page:0 in
+  Alcotest.(check (list int)) "old page untouched" [ 1 ] r0.xids
+
+let test_ddl_promote_relation () =
+  let t = create () in
+  lock_tuple t ~owner:1 ~rel:"r" ~key:(vi 1) ~page:0;
+  lock_page t ~owner:2 ~rel:"r" ~page:1;
+  lock_tuple t ~owner:3 ~rel:"s" ~key:(vi 1) ~page:0;
+  summarize_owner t 3 ~cseq:5;
+  lock_tuple t ~owner:4 ~rel:"r" ~key:(vi 9) ~page:2;
+  summarize_owner t 4 ~cseq:6;
+  promote_relation t ~rel:"r";
+  Alcotest.(check bool) "owner1 promoted" true (holds t ~owner:1 (Relation "r"));
+  Alcotest.(check bool) "owner2 promoted" true (holds t ~owner:2 (Relation "r"));
+  Alcotest.(check bool) "fine locks gone" false (holds t ~owner:1 (Tuple ("r", vi 1)));
+  let r = readers_for_write t ~rel:"r" ~key:(vi 1234) ~page:99 in
+  Alcotest.(check bool) "everything covered" true
+    (List.sort compare r.xids = [ 1; 2 ] && r.old_committed = Some 6);
+  (* Other relations untouched. *)
+  let s = readers_for_write t ~rel:"s" ~key:(vi 1) ~page:0 in
+  Alcotest.(check (option int)) "relation s dummy kept" (Some 5) s.old_committed
+
+let test_ddl_drop_index () =
+  let t = create () in
+  lock_index_page t ~owner:1 ~index:"i" ~page:0;
+  lock_index_rel t ~owner:2 ~index:"i";
+  lock_index_page t ~owner:3 ~index:"i" ~page:1;
+  summarize_owner t 3 ~cseq:9;
+  drop_index_to_relation t ~index:"i" ~heap_rel:"r";
+  Alcotest.(check bool) "owner1 got relation lock" true (holds t ~owner:1 (Relation "r"));
+  Alcotest.(check bool) "owner2 got relation lock" true (holds t ~owner:2 (Relation "r"));
+  let r = readers_for_write t ~rel:"r" ~key:(vi 1) ~page:0 in
+  Alcotest.(check (option int)) "dummy transferred" (Some 9) r.old_committed;
+  let idx = readers_for_index_insert t ~index:"i" ~page:0 in
+  Alcotest.(check (list int)) "index locks gone" [] idx.xids
+
+let test_counts () =
+  let t = create () in
+  lock_tuple t ~owner:1 ~rel:"r" ~key:(vi 1) ~page:0;
+  lock_tuple t ~owner:2 ~rel:"r" ~key:(vi 1) ~page:0;
+  Alcotest.(check int) "two holdings on one target" 2 (total_lock_count t);
+  Alcotest.(check int) "owner count" 1 (owner_lock_count t 1)
+
+let () =
+  Alcotest.run "predlock"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "tuple lock lookup" `Quick test_tuple_lock_and_lookup;
+          Alcotest.test_case "page covers tuples" `Quick test_page_lock_covers_tuples;
+          Alcotest.test_case "relation covers all" `Quick test_relation_lock_covers_all;
+          Alcotest.test_case "multiple owners, coarse first" `Quick test_multiple_owners;
+          Alcotest.test_case "unlock tuple" `Quick test_unlock_tuple;
+          Alcotest.test_case "release owner" `Quick test_release_owner;
+          Alcotest.test_case "counts" `Quick test_counts;
+        ] );
+      ( "promotion",
+        [
+          Alcotest.test_case "tuple to page" `Quick test_promotion_tuple_to_page;
+          Alcotest.test_case "page to relation" `Quick test_promotion_page_to_relation;
+          Alcotest.test_case "index pages" `Quick test_promotion_index;
+          Alcotest.test_case "coarser subsumes finer" `Quick test_no_finer_lock_under_coarser;
+        ] );
+      ( "summarization",
+        [
+          Alcotest.test_case "summarize owner" `Quick test_summarize_owner;
+          Alcotest.test_case "cleanup" `Quick test_cleanup_old_committed;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "page split copies locks" `Quick test_index_page_split_copies;
+          Alcotest.test_case "table rewrite promotes" `Quick test_ddl_promote_relation;
+          Alcotest.test_case "index drop transfers" `Quick test_ddl_drop_index;
+        ] );
+    ]

@@ -1,0 +1,195 @@
+(* Log-shipping replication (§7.2): WAL application, safe-snapshot
+   markers, the serializability problem of reading replicas at arbitrary
+   positions, and its resolution via safe snapshots. *)
+
+open Ssi_storage
+module E = Ssi_engine.Engine
+module R = Ssi_replication.Replica
+module Sim = Ssi_sim.Sim
+
+let vi i = Value.Int i
+
+let fresh () =
+  let db = E.create () in
+  E.create_table db ~name:"kv" ~cols:[ "k"; "v" ] ~key:"k";
+  let replica = R.attach db in
+  (db, replica)
+
+let bump t k v = ignore (E.update t ~table:"kv" ~key:(vi k) ~f:(fun r -> [| r.(0); vi v |]))
+
+let r_value rt k =
+  match R.read rt ~table:"kv" ~key:(vi k) with
+  | Some row -> Some (Value.as_int row.(1))
+  | None -> None
+
+let test_apply_basic () =
+  let db, replica = fresh () in
+  E.with_txn db (fun t ->
+      E.insert t ~table:"kv" [| vi 1; vi 10 |];
+      E.insert t ~table:"kv" [| vi 2; vi 20 |]);
+  E.with_txn db (fun t -> bump t 1 11);
+  E.with_txn db (fun t -> ignore (E.delete t ~table:"kv" ~key:(vi 2)));
+  let rt = R.begin_read replica `Latest_applied in
+  Alcotest.(check (option int)) "update applied" (Some 11) (r_value rt 1);
+  Alcotest.(check (option int)) "delete applied" None (r_value rt 2)
+
+let test_aborts_not_shipped () =
+  let db, replica = fresh () in
+  let t = E.begin_txn db in
+  E.insert t ~table:"kv" [| vi 1; vi 10 |];
+  E.abort t;
+  let rt = R.begin_read replica `Latest_applied in
+  Alcotest.(check (option int)) "aborted write never shipped" None (r_value rt 1)
+
+let test_snapshot_stability () =
+  (* A replica read transaction keeps one position even as new commits
+     apply. *)
+  let db, replica = fresh () in
+  E.with_txn db (fun t -> E.insert t ~table:"kv" [| vi 1; vi 10 |]);
+  let rt = R.begin_read replica `Latest_applied in
+  E.with_txn db (fun t -> bump t 1 99);
+  Alcotest.(check (option int)) "old snapshot" (Some 10) (r_value rt 1);
+  let rt2 = R.begin_read replica `Latest_applied in
+  Alcotest.(check (option int)) "new snapshot" (Some 99) (r_value rt2 1)
+
+let test_apply_lag () =
+  let db, replica = fresh () in
+  R.set_apply_lag replica 1;
+  E.with_txn db (fun t -> E.insert t ~table:"kv" [| vi 1; vi 10 |]);
+  let rt = R.begin_read replica `Latest_applied in
+  Alcotest.(check (option int)) "held back" None (r_value rt 1);
+  E.with_txn db (fun t -> E.insert t ~table:"kv" [| vi 2; vi 20 |]);
+  let rt = R.begin_read replica `Latest_applied in
+  Alcotest.(check (option int)) "first record now applied" (Some 10) (r_value rt 1);
+  R.set_apply_lag replica 0;
+  let rt = R.begin_read replica `Latest_applied in
+  Alcotest.(check (option int)) "drained" (Some 20) (r_value rt 2)
+
+let test_safe_point_markers () =
+  let db, replica = fresh () in
+  (* No concurrent rw serializable transactions: every commit is a safe
+     point. *)
+  E.with_txn db (fun t -> E.insert t ~table:"kv" [| vi 1; vi 10 |]);
+  Alcotest.(check bool) "safe point advanced" true (R.last_safe_cseq replica > 0);
+  Alcotest.(check int) "equals applied" (R.applied_cseq replica) (R.last_safe_cseq replica);
+  (* With a concurrent rw serializable transaction, commits are NOT safe
+     points. *)
+  let open_rw = E.begin_txn db in
+  ignore (E.read open_rw ~table:"kv" ~key:(vi 1));
+  E.with_txn db (fun t -> bump t 1 11);
+  Alcotest.(check bool) "not a safe point" true
+    (R.last_safe_cseq replica < R.applied_cseq replica);
+  E.commit open_rw
+
+(* The §7.2 scenario: the batch-processing REPORT run on a replica.
+   Reading the latest applied state can expose the Figure 2 anomaly;
+   reading at safe-snapshot markers cannot. *)
+let batch_scenario mode =
+  let db = E.create () in
+  E.create_table db ~name:"control" ~cols:[ "id"; "batch" ] ~key:"id";
+  E.create_table db ~name:"receipts" ~cols:[ "rid"; "batch"; "amount" ] ~key:"rid";
+  let replica = R.attach db in
+  E.with_txn db (fun t -> E.insert t ~table:"control" [| vi 0; vi 1 |]);
+  (* T2 (NEW-RECEIPT) reads the batch number and stays open. *)
+  let t2 = E.begin_txn db in
+  let x2 =
+    match E.read t2 ~table:"control" ~key:(vi 0) with
+    | Some row -> Value.as_int row.(1)
+    | None -> assert false
+  in
+  (* T3 (CLOSE-BATCH) increments and commits — NOT a safe point, because
+     T2 is a concurrent rw serializable transaction. *)
+  E.with_txn db (fun t ->
+      ignore
+        (E.update t ~table:"control" ~key:(vi 0) ~f:(fun row ->
+             [| row.(0); vi (Value.as_int row.(1) + 1) |])));
+  (* REPORT on the replica: shows the total of the PREVIOUS batch (the
+     one most recently closed).  The Figure 2 invariant: once a batch's
+     total has been reported, it never changes. *)
+  let reported : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let changed = ref 0 in
+  let report () =
+    let rt = R.begin_read replica mode in
+    let visible_batch =
+      match R.read rt ~table:"control" ~key:(vi 0) with
+      | Some row -> Value.as_int row.(1)
+      | None -> 0
+    in
+    let prev = visible_batch - 1 in
+    let total =
+      List.fold_left
+        (fun acc row -> acc + Value.as_int row.(2))
+        0
+        (R.scan rt ~table:"receipts" ~filter:(fun row -> Value.as_int row.(1) = prev) ())
+    in
+    (match Hashtbl.find_opt reported prev with
+    | None -> Hashtbl.add reported prev total
+    | Some seen -> if seen <> total then incr changed);
+    visible_batch
+  in
+  let batch_before = report () in
+  (* T2 commits its receipt into the now-closed batch. *)
+  E.insert t2 ~table:"receipts" [| vi 100; vi x2; vi 25 |];
+  E.commit t2;
+  let batch_after = report () in
+  (batch_before, batch_after, !changed)
+
+let test_replica_anomaly_at_latest_applied () =
+  let batch_before, batch_after, changed = batch_scenario `Latest_applied in
+  (* The replica saw CLOSE-BATCH immediately (batch 2, reporting batch 1's
+     total as 0), then the late receipt changed the reported total. *)
+  Alcotest.(check int) "saw the closed batch immediately" 2 batch_before;
+  Alcotest.(check int) "still batch 2" 2 batch_after;
+  Alcotest.(check int) "a reported total changed: anomaly" 1 changed
+
+let test_replica_safe_snapshot_serializable () =
+  let batch_before, batch_after, changed = batch_scenario `Latest_safe in
+  (* The safe snapshot withheld CLOSE-BATCH until NEW-RECEIPT resolved:
+     batch 1's total is first reported only when it already includes the
+     receipt — the reported total never changes. *)
+  Alcotest.(check int) "close-batch withheld at first" 1 batch_before;
+  Alcotest.(check int) "visible once the concurrent txn resolved" 2 batch_after;
+  Alcotest.(check int) "no reported total ever changed" 0 changed
+
+let test_wait_snapshot () =
+  (* The deferrable-style replica option: wait for the next safe point. *)
+  let arrived = ref 0 in
+  ignore
+    (Sim.run (fun () ->
+         let db = E.create ~scheduler:Sim.scheduler () in
+         E.create_table db ~name:"kv" ~cols:[ "k"; "v" ] ~key:"k";
+         let replica = R.attach db in
+         let rw = E.begin_txn db in
+         ignore (E.read rw ~table:"kv" ~key:(vi 1));
+         Sim.spawn (fun () ->
+             Sim.delay 1.0;
+             E.with_txn db (fun t -> E.insert t ~table:"kv" [| vi 1; vi 1 |]) (* unsafe *);
+             E.commit rw;
+             (* Now no rw serializable transaction is active: the next
+                commit is a safe point. *)
+             E.with_txn db (fun t -> E.insert t ~table:"kv" [| vi 2; vi 2 |]));
+         Sim.spawn (fun () ->
+             arrived := R.wait_snapshot replica ~after:0;
+             Alcotest.(check bool) "waited" true (Sim.now () >= 1.0))));
+  Alcotest.(check bool) "safe cseq returned" true (!arrived > 0)
+
+let () =
+  Alcotest.run "replication"
+    [
+      ( "wal application",
+        [
+          Alcotest.test_case "basic" `Quick test_apply_basic;
+          Alcotest.test_case "aborts not shipped" `Quick test_aborts_not_shipped;
+          Alcotest.test_case "snapshot stability" `Quick test_snapshot_stability;
+          Alcotest.test_case "apply lag" `Quick test_apply_lag;
+        ] );
+      ( "safe snapshots (§7.2)",
+        [
+          Alcotest.test_case "markers" `Quick test_safe_point_markers;
+          Alcotest.test_case "anomaly at latest applied" `Quick
+            test_replica_anomaly_at_latest_applied;
+          Alcotest.test_case "safe snapshot serializable" `Quick
+            test_replica_safe_snapshot_serializable;
+          Alcotest.test_case "wait for safe snapshot" `Quick test_wait_snapshot;
+        ] );
+    ]

@@ -1,0 +1,187 @@
+(* Two-phase commit and its SSI interactions (§7.1): prepared
+   transactions' visibility, the pre-commit check at PREPARE, prepared
+   transactions never being abort victims (and the resulting loss of safe
+   retry), and crash recovery with conservative conflict flags. *)
+
+open Ssi_storage
+module E = Ssi_engine.Engine
+
+let vi i = Value.Int i
+
+let fresh () =
+  let db = E.create () in
+  E.create_table db ~name:"kv" ~cols:[ "k"; "v" ] ~key:"k";
+  E.with_txn db (fun t ->
+      for k = 0 to 4 do
+        E.insert t ~table:"kv" [| vi k; vi 0 |]
+      done);
+  db
+
+let bump t k = ignore (E.update t ~table:"kv" ~key:(vi k) ~f:(fun r -> [| r.(0); vi 1 |]))
+
+(* Reads at snapshot isolation: visibility checks must not be disturbed by
+   SSI's conservative post-recovery behaviour. *)
+let value db k =
+  E.with_txn ~isolation:E.Repeatable_read db (fun t ->
+      match E.read t ~table:"kv" ~key:(vi k) with
+      | Some row -> Value.as_int row.(1)
+      | None -> -1)
+
+let test_prepare_commit () =
+  let db = fresh () in
+  let t = E.begin_txn db in
+  bump t 1;
+  E.prepare t ~gid:"g1";
+  Alcotest.(check (list string)) "listed" [ "g1" ] (E.prepared_gids db);
+  Alcotest.(check int) "invisible while prepared" 0 (value db 1);
+  E.commit_prepared db ~gid:"g1";
+  Alcotest.(check int) "visible after commit" 1 (value db 1);
+  Alcotest.(check (list string)) "gone" [] (E.prepared_gids db)
+
+let test_prepare_rollback () =
+  let db = fresh () in
+  let t = E.begin_txn db in
+  bump t 1;
+  E.prepare t ~gid:"g1";
+  E.rollback_prepared db ~gid:"g1";
+  Alcotest.(check int) "rolled back" 0 (value db 1)
+
+let test_no_ops_after_prepare () =
+  let db = fresh () in
+  let t = E.begin_txn db in
+  bump t 1;
+  E.prepare t ~gid:"g1";
+  Alcotest.check_raises "prepared transactions take no more operations"
+    (Invalid_argument "Engine: transaction is prepared") (fun () ->
+      ignore (E.read t ~table:"kv" ~key:(vi 1)));
+  E.rollback_prepared db ~gid:"g1"
+
+let test_prepare_runs_serialization_check () =
+  (* A doomed pivot cannot PREPARE (§7.1: the check must run before the
+     transaction becomes unabortable). *)
+  let db = fresh () in
+  let t1 = E.begin_txn db and t2 = E.begin_txn db and t3 = E.begin_txn db in
+  ignore (E.read t1 ~table:"kv" ~key:(vi 1));
+  ignore (E.read t2 ~table:"kv" ~key:(vi 2));
+  bump t2 1 (* t1 -> t2 *);
+  bump t3 2 (* t2 -> t3 *);
+  E.commit t3 (* first committer: dooms the pivot t2 *);
+  (try
+     E.prepare t2 ~gid:"g1";
+     Alcotest.fail "expected prepare to fail"
+   with E.Serialization_failure _ -> ());
+  Alcotest.(check bool) "rolled back by the failed prepare" true (E.is_finished t2);
+  E.commit t1
+
+let test_prepared_pivot_aborts_active_instead () =
+  (* T_active --rw--> T_prepared --rw--> T_committed: the pivot is
+     prepared, so the active transaction gives way (§7.1)... *)
+  let db = fresh () in
+  let tp = E.begin_txn db in
+  ignore (E.read tp ~table:"kv" ~key:(vi 1));
+  let t3 = E.begin_txn db in
+  bump t3 1 (* tp -> t3 *);
+  E.commit t3;
+  bump tp 2;
+  E.prepare tp ~gid:"g1";
+  let ta = E.begin_txn db in
+  (try
+     ignore (E.read ta ~table:"kv" ~key:(vi 2)) (* ta reads around tp's write *);
+     E.commit ta;
+     Alcotest.fail "expected the active transaction to fail"
+   with E.Serialization_failure _ -> E.abort ta);
+  (* ...and safe retry is lost: an immediate retry hits the same conflict
+     while tp is still prepared. *)
+  let ta2 = E.begin_txn db in
+  (try
+     ignore (E.read ta2 ~table:"kv" ~key:(vi 2));
+     E.commit ta2;
+     Alcotest.fail "retry should fail too while the pivot is prepared"
+   with E.Serialization_failure _ -> E.abort ta2);
+  (* Once the prepared transaction commits, the retry succeeds. *)
+  E.commit_prepared db ~gid:"g1";
+  E.with_txn db (fun t -> ignore (E.read t ~table:"kv" ~key:(vi 2)))
+
+let test_crash_recovery_basic () =
+  let db = fresh () in
+  (* An in-flight transaction's writes vanish at the crash. *)
+  let in_flight = E.begin_txn db in
+  bump in_flight 3;
+  (* A prepared transaction survives. *)
+  let tp = E.begin_txn db in
+  bump tp 1;
+  E.prepare tp ~gid:"survivor";
+  E.crash_recover db;
+  Alcotest.(check (list string)) "prepared survives" [ "survivor" ] (E.prepared_gids db);
+  Alcotest.(check int) "in-flight rolled back" 0 (value db 3);
+  Alcotest.(check int) "prepared still invisible" 0 (value db 1);
+  E.commit_prepared db ~gid:"survivor";
+  Alcotest.(check int) "prepared commit applies" 1 (value db 1)
+
+let test_crash_recovery_conservative_flags () =
+  (* After recovery the prepared transaction's SIREAD locks survive and
+     its conflicts are assumed both-ways: a transaction whose write
+     touches its readset fails at commit. *)
+  let db = fresh () in
+  let tp = E.begin_txn db in
+  ignore (E.read tp ~table:"kv" ~key:(vi 1));
+  bump tp 2;
+  E.prepare tp ~gid:"g1";
+  E.crash_recover db;
+  let w = E.begin_txn db in
+  bump w 1 (* writes what the prepared transaction read *);
+  (try
+     E.commit w;
+     Alcotest.fail "expected conservative failure"
+   with E.Serialization_failure _ -> ());
+  (* Unrelated transactions are not affected. *)
+  E.with_txn db (fun t -> bump t 4);
+  E.rollback_prepared db ~gid:"g1"
+
+let test_write_lock_held_through_prepare () =
+  let db = fresh () in
+  let tp = E.begin_txn db in
+  bump tp 1;
+  E.prepare tp ~gid:"g1";
+  let w = E.begin_txn db in
+  Alcotest.check_raises "tuple still write-locked" Ssi_util.Waitq.Would_block (fun () ->
+      bump w 1);
+  E.abort w;
+  E.commit_prepared db ~gid:"g1"
+
+let test_duplicate_gid_rejected () =
+  let db = fresh () in
+  let t1 = E.begin_txn db in
+  bump t1 1;
+  E.prepare t1 ~gid:"g";
+  let t2 = E.begin_txn db in
+  bump t2 2;
+  Alcotest.check_raises "duplicate gid" (Invalid_argument "Engine.prepare: duplicate gid g")
+    (fun () -> E.prepare t2 ~gid:"g");
+  E.abort t2;
+  E.rollback_prepared db ~gid:"g"
+
+let () =
+  Alcotest.run "twophase"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "prepare then commit" `Quick test_prepare_commit;
+          Alcotest.test_case "prepare then rollback" `Quick test_prepare_rollback;
+          Alcotest.test_case "no ops after prepare" `Quick test_no_ops_after_prepare;
+          Alcotest.test_case "duplicate gid" `Quick test_duplicate_gid_rejected;
+          Alcotest.test_case "write locks held" `Quick test_write_lock_held_through_prepare;
+        ] );
+      ( "ssi interactions (§7.1)",
+        [
+          Alcotest.test_case "prepare runs the check" `Quick
+            test_prepare_runs_serialization_check;
+          Alcotest.test_case "prepared pivot: active aborts, retry unsafe" `Quick
+            test_prepared_pivot_aborts_active_instead;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "basic" `Quick test_crash_recovery_basic;
+          Alcotest.test_case "conservative flags" `Quick test_crash_recovery_conservative_flags;
+        ] );
+    ]
