@@ -128,6 +128,72 @@ let run_workload name mode_str workers duration seed =
   Format.printf "  cpu busy     %.0f%%@." (100. *. r.Driver.cpu_busy);
   0
 
+(* ---- chaos ---------------------------------------------------------------- *)
+
+module F = Ssi_fault.Fault
+module Replica = Ssi_replication.Replica
+module Sim = Ssi_sim.Sim
+
+let run_chaos seed duration workers failover =
+  let rows = 100 in
+  let plan = F.gen_plan ~seed ~horizon:duration ~failover () in
+  Format.printf "chaos seed=%d horizon=%.1fs workers=%d@." seed duration workers;
+  Format.printf "fault plan:@.";
+  List.iter (fun l -> Format.printf "  %s@." l) (F.describe plan);
+  let log_lines = ref [] in
+  let log s = log_lines := s :: !log_lines in
+  let injector = F.injector ~seed in
+  let replica = ref None in
+  let promoted = ref None in
+  let chaos db =
+    let r = Replica.attach db in
+    replica := Some r;
+    E.set_fault_injector db (Some (fun ~op -> F.hook injector ~op));
+    let target = { F.engine = db; injector = Some injector; replica = Some r } in
+    let observer phase (ev : F.event) =
+      match (phase, ev.F.kind) with
+      | `After, F.Failover -> promoted := Some (Replica.promote r ~primary:db `Latest_safe)
+      | _ -> ()
+    in
+    Sim.spawn (fun () -> F.execute ~observer target plan ~log)
+  in
+  let bench =
+    {
+      Driver.default_bench with
+      Driver.mode = Driver.SSI;
+      workers;
+      duration;
+      warmup = 0.;
+      seed;
+      chaos = Some chaos;
+    }
+  in
+  let r = Driver.run ~setup:(Sibench.setup ~rows) ~specs:(Sibench.specs ~rows ()) bench in
+  Format.printf "chaos log:@.";
+  List.iter (fun l -> Format.printf "  %s@." l) (List.rev !log_lines);
+  Format.printf "results:@.";
+  Format.printf "  committed          %d (%.0f tx/s)@." r.Driver.committed r.Driver.throughput;
+  Format.printf "  serialization fail %d, deadlocks %d@." r.Driver.failures r.Driver.deadlocks;
+  Format.printf "  injected faults    %d@." r.Driver.injected_faults;
+  Format.printf "  retries            %d, giveups %d@." r.Driver.retries r.Driver.giveups;
+  Format.printf "  attempts/commit    %.2f@." r.Driver.attempts_per_commit;
+  (match !replica with
+  | Some rep ->
+      Format.printf "  replica            applied cseq %d, safe cseq %d@."
+        (Replica.applied_cseq rep) (Replica.last_safe_cseq rep)
+  | None -> ());
+  (match !promoted with
+  | Some eng ->
+      let n =
+        E.with_txn eng (fun txn ->
+            List.fold_left
+              (fun acc t -> acc + List.length (E.seq_scan txn ~table:t ()))
+              0 (E.table_names eng))
+      in
+      Format.printf "  failover           promoted replica holds %d rows (safe snapshot)@." n
+  | None -> ());
+  0
+
 (* ---- sql REPL ------------------------------------------------------------ *)
 
 let run_sql script_file =
@@ -201,6 +267,22 @@ let workload_cmd =
   Cmd.v (Cmd.info "workload" ~doc:"Run one workload configuration and report its numbers")
     Term.(const run_workload $ wl_arg $ mode_arg $ workers_arg $ duration_arg $ seed_arg)
 
+let chaos_cmd =
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Fault-plan seed") in
+  let duration_arg =
+    Arg.(value & opt float 3.0 & info [ "duration" ] ~doc:"Simulated seconds (fault horizon)")
+  in
+  let workers_arg = Arg.(value & opt int 8 & info [ "workers" ] ~doc:"Concurrent sessions") in
+  let failover_arg =
+    Arg.(value & flag & info [ "failover" ] ~doc:"Promote the replica near the end of the run")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a workload under a seeded fault plan (crashes, I/O faults, memory pressure, \
+          replica lag) and report resilience counters")
+    Term.(const run_chaos $ seed_arg $ duration_arg $ workers_arg $ failover_arg)
+
 let sql_cmd =
   let file_arg =
     Arg.(value & opt (some string) None
@@ -214,4 +296,4 @@ let () =
     Cmd.info "pg_ssi" ~version:"1.0.0"
       ~doc:"Serializable Snapshot Isolation in PostgreSQL, reproduced in OCaml"
   in
-  exit (Cmd.eval' (Cmd.group info [ demo_cmd; bench_cmd; workload_cmd; sql_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ demo_cmd; bench_cmd; workload_cmd; chaos_cmd; sql_cmd ]))

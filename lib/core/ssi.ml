@@ -64,7 +64,7 @@ type old_entry = { old_commit : cseq; old_earliest_out : cseq }
 type t = {
   clog : Mvcc.Clog.t;
   locks : Predlock.t;
-  config : config;
+  mutable config : config;
   by_xid : (Heap.xid, node) Hashtbl.t;
   mutable active : node list;  (** Active and Prepared *)
   committed : node Queue.t;  (** retained committed nodes, commit order *)
@@ -94,6 +94,11 @@ let create ?(config = default_config) clog =
 
 let locks t = t.locks
 let stats t = t.stats
+let max_committed_sxacts t = t.config.max_committed_sxacts
+
+let set_max_committed_sxacts t n =
+  t.config <- { t.config with max_committed_sxacts = max 0 n }
+
 let xid_of n = n.xid
 let snap_cseq_of n = n.snap_cseq
 let is_doomed n = n.doomed

@@ -51,6 +51,14 @@ val create : ?config:config -> Ssi_mvcc.Mvcc.Clog.t -> t
 
 val locks : t -> Predlock.t
 
+val max_committed_sxacts : t -> int
+
+val set_max_committed_sxacts : t -> int -> unit
+(** Dynamically re-bound the retained committed-transaction budget (§6.2).
+    Shrinking it takes effect at the next commit's cleanup pass, forcing
+    summarization of the backlog — the memory-pressure knob the chaos
+    harness turns mid-run. *)
+
 (** {1 Transaction lifecycle} *)
 
 val register :

@@ -21,6 +21,7 @@ let pp_isolation ppf iso =
 exception Serialization_failure = Ssi.Serialization_failure
 exception Duplicate_key of { table : string; key : Value.t }
 exception Read_only_transaction
+exception Transient_fault of { op : string; reason : string }
 
 type costs = {
   cpu_per_op : float;
@@ -81,6 +82,8 @@ type stats = {
   mutable write_conflicts : int;
   mutable deadlocks : int;
   mutable retries : int;
+  mutable injected_faults : int;
+  mutable giveups : int;
 }
 
 type index_s = {
@@ -105,7 +108,8 @@ type t = {
   sched : Waitq.scheduler;
   cfg : config;
   stats : stats;
-  mutable on_commit : (commit_record -> unit) option;
+  mutable on_commit : (commit_record -> unit) list;  (** registration order *)
+  mutable fault_injector : (op:string -> unit) option;
   mutable tracer : (string -> unit) option;
 }
 
@@ -125,6 +129,9 @@ and txn = {
   mutable subdepth : int;
   mutable write_waiting_for : Heap.xid option;
       (** the transaction whose tuple write lock this one is waiting on *)
+  mutable crashed : bool;
+      (** the transaction vanished in {!crash_recover}: the session's next
+          operation fails with a retryable [Transient_fault] *)
   commit_wq : Waitq.t;  (** woken when this transaction commits or aborts *)
 }
 
@@ -153,12 +160,16 @@ let create ?(scheduler = Waitq.direct) ?(config = default_config) () =
         write_conflicts = 0;
         deadlocks = 0;
         retries = 0;
+        injected_faults = 0;
+        giveups = 0;
       };
-    on_commit = None;
+    on_commit = [];
+    fault_injector = None;
     tracer = None;
   }
 
-let set_on_commit t f = t.on_commit <- Some f
+let set_on_commit t f = t.on_commit <- t.on_commit @ [ f ]
+let set_fault_injector t f = t.fault_injector <- f
 
 let set_tracer t f =
   t.tracer <- f;
@@ -168,6 +179,20 @@ let trace db fmt =
   match db.tracer with
   | None -> Printf.ifprintf () fmt
   | Some f -> Printf.ksprintf f fmt
+
+(* A fault point: where an installed injector may kill the current
+   operation with a retryable error.  Never placed after a commit point, so
+   acknowledged commits are durable and faulted attempts wrote nothing. *)
+let fault_point db ~op =
+  match db.fault_injector with
+  | None -> ()
+  | Some inject -> (
+      try inject ~op
+      with Transient_fault _ as e ->
+        db.stats.injected_faults <- db.stats.injected_faults + 1;
+        trace db "fault injected at %s" op;
+        raise e)
+
 let stats t = t.stats
 
 let reset_stats t =
@@ -177,7 +202,9 @@ let reset_stats t =
   s.serialization_failures <- 0;
   s.write_conflicts <- 0;
   s.deadlocks <- 0;
-  s.retries <- 0
+  s.retries <- 0;
+  s.injected_faults <- 0;
+  s.giveups <- 0
 
 let ssi_stats t = Ssi.stats t.ssi_mgr
 let ssi t = t.ssi_mgr
@@ -307,6 +334,7 @@ let make_txn db ~iso ~ro ~xid ~snapshot ~sxact =
       savepoints = [];
       subdepth = 0;
       write_waiting_for = None;
+      crashed = false;
       commit_wq = Waitq.create ();
     }
   in
@@ -362,6 +390,8 @@ let tracking txn =
   match txn.sxact with Some node when not (Ssi.is_safe node) -> Some node | _ -> None
 
 let ensure_running txn =
+  if txn.crashed then
+    raise (Transient_fault { op = "txn"; reason = "connection lost: server crashed" });
   if txn.finished then invalid_arg "Engine: transaction already finished";
   if txn.prepared_gid <> None then invalid_arg "Engine: transaction is prepared";
   match txn.sxact with Some node -> Ssi.check_doomed node | None -> ()
@@ -610,6 +640,7 @@ let map_lock_errors txn f =
 
 let read txn ~table ~key =
   start_op txn;
+  fault_point txn.db ~op:"read";
   trace txn.db "x%d read %s/%s" txn.txn_xid table (Value.to_string key);
   let tbl = table_of txn.db table in
   let result =
@@ -628,6 +659,7 @@ let index_of db name =
 
 let index_scan txn ~table ~index ~lo ~hi =
   start_op txn;
+  fault_point txn.db ~op:"index_scan";
   trace txn.db "x%d scan %s[%s..%s]" txn.txn_xid index (Value.to_string lo) (Value.to_string hi);
   let db = txn.db in
   let tbl = table_of db table in
@@ -703,6 +735,7 @@ let index_scan txn ~table ~index ~lo ~hi =
 
 let seq_scan txn ~table ?(filter = fun _ -> true) () =
   start_op txn;
+  fault_point txn.db ~op:"seq_scan";
   trace txn.db "x%d seqscan %s" txn.txn_xid table;
   let db = txn.db in
   let tbl = table_of db table in
@@ -772,6 +805,7 @@ let all_indexes tbl = tbl.pk_index :: tbl.secondary
 
 let insert txn ~table row =
   start_op txn;
+  fault_point txn.db ~op:"insert";
   trace txn.db "x%d insert %s/%s" txn.txn_xid table
     (Value.to_string (Schema.key_of_row (Heap.schema (table_of txn.db table).heap) row));
   ensure_writable txn;
@@ -890,6 +924,7 @@ let rec locate_for_write txn tbl key =
 
 let update txn ~table ~key ~f =
   start_op txn;
+  fault_point txn.db ~op:"update";
   trace txn.db "x%d update %s/%s" txn.txn_xid table (Value.to_string key);
   ensure_writable txn;
   let db = txn.db in
@@ -919,6 +954,7 @@ let update txn ~table ~key ~f =
 
 let delete txn ~table ~key =
   start_op txn;
+  fault_point txn.db ~op:"delete";
   trace txn.db "x%d delete %s/%s" txn.txn_xid table (Value.to_string key);
   ensure_writable txn;
   let db = txn.db in
@@ -953,16 +989,17 @@ let serializable_rw_active db =
 
 let emit_wal db txn cseq =
   match db.on_commit with
-  | None -> ()
-  | Some hook ->
-      let ops = List.rev txn.wal in
-      hook
-          {
-            wal_xid = txn.txn_xid;
-            wal_cseq = cseq;
-            wal_ops = ops;
-            wal_safe_point = not (serializable_rw_active db);
-          }
+  | [] -> ()
+  | hooks ->
+      let record =
+        {
+          wal_xid = txn.txn_xid;
+          wal_cseq = cseq;
+          wal_ops = List.rev txn.wal;
+          wal_safe_point = not (serializable_rw_active db);
+        }
+      in
+      List.iter (fun hook -> hook record) hooks
 
 let abort txn =
   if not txn.finished then begin
@@ -987,8 +1024,9 @@ let commit txn =
      would be orphaned. *)
   (try
      ensure_running txn;
+     fault_point db ~op:"commit";
      match txn.sxact with Some node -> Ssi.precommit db.ssi_mgr node | None -> ()
-   with Serialization_failure _ as e ->
+   with (Serialization_failure _ | Transient_fault _) as e ->
      abort txn;
      raise e);
   let cseq = Clog.commit db.clog txn.txn_xid in
@@ -1006,8 +1044,9 @@ let prepare txn ~gid =
   if Hashtbl.mem db.prepared_by_gid gid then invalid_arg ("Engine.prepare: duplicate gid " ^ gid);
   (try
      ensure_running txn;
+     fault_point db ~op:"prepare";
      match txn.sxact with Some node -> Ssi.prepare db.ssi_mgr node | None -> ()
-   with Serialization_failure _ as e ->
+   with (Serialization_failure _ | Transient_fault _) as e ->
      abort txn;
      raise e);
   txn.prepared_gid <- Some gid;
@@ -1052,6 +1091,7 @@ let crash_recover db =
       txn.wal <- [];
       Clog.abort db.clog txn.txn_xid;
       txn.finished <- true;
+      txn.crashed <- true;
       Hashtbl.remove db.active txn.txn_xid;
       Lockmgr.release_all db.locks ~owner:txn.txn_xid;
       Waitq.wake_all txn.commit_wq)
@@ -1065,25 +1105,89 @@ let with_txn ?isolation ?read_only ?deferrable db f =
   let txn = begin_txn ?isolation ?read_only ?deferrable db in
   match f txn with
   | result ->
+      (* [f] may return without touching the engine again after a crash
+         rolled this transaction back (e.g. it was suspended on a charge
+         when the crash hit); that must not look like a successful commit. *)
+      if txn.crashed then
+        raise (Transient_fault { op = "commit"; reason = "connection lost: server crashed" });
       if not txn.finished then commit txn;
       result
   | exception e ->
       abort txn;
       raise e
 
-let retry ?isolation ?read_only ?deferrable ?(max_attempts = 100) db f =
+type retry_policy = {
+  max_attempts : int;
+  backoff_base : float;
+  backoff_multiplier : float;
+  backoff_max : float;
+  jitter : float;
+  deadline : float option;
+  retryable : exn -> bool;
+}
+
+let default_retry_policy =
+  {
+    max_attempts = 100;
+    backoff_base = 0.;
+    backoff_multiplier = 2.;
+    backoff_max = 0.1;
+    jitter = 0.5;
+    deadline = None;
+    retryable =
+      (function Serialization_failure _ | Transient_fault _ -> true | _ -> false);
+  }
+
+let retry_with ?isolation ?read_only ?deferrable ?(policy = default_retry_policy) ?rng db f =
+  let started = db.sched.now () in
+  (* Exponential backoff for the (n+1)-th attempt after [n] failures, with
+     seeded jitter spreading retries in [b*(1-jitter), b]. *)
+  let backoff_after n =
+    if policy.backoff_base <= 0. then 0.
+    else begin
+      let b =
+        Float.min policy.backoff_max
+          (policy.backoff_base *. (policy.backoff_multiplier ** float_of_int (n - 1)))
+      in
+      match rng with
+      | Some rng when policy.jitter > 0. ->
+          b *. (1. -. policy.jitter +. Rng.float rng policy.jitter)
+      | Some _ | None -> b
+    end
+  in
   let rec attempt n =
     match with_txn ?isolation ?read_only ?deferrable db f with
     | result -> result
-    | exception (Serialization_failure _ as e) ->
-        db.stats.serialization_failures <- db.stats.serialization_failures + 1;
-        if n >= max_attempts then raise e
+    | exception e when policy.retryable e ->
+        (match e with
+        | Serialization_failure _ ->
+            db.stats.serialization_failures <- db.stats.serialization_failures + 1
+        | _ -> ());
+        let out_of_time =
+          match policy.deadline with
+          | Some d -> db.sched.now () -. started >= d
+          | None -> false
+        in
+        if n >= policy.max_attempts || out_of_time then begin
+          db.stats.giveups <- db.stats.giveups + 1;
+          raise e
+        end
         else begin
           db.stats.retries <- db.stats.retries + 1;
+          let b = backoff_after n in
+          if b > 0. then db.sched.charge b;
           attempt (n + 1)
         end
   in
   attempt 1
+
+let retry ?isolation ?read_only ?deferrable ?max_attempts db f =
+  let policy =
+    match max_attempts with
+    | None -> default_retry_policy
+    | Some m -> { default_retry_policy with max_attempts = m }
+  in
+  retry_with ?isolation ?read_only ?deferrable ~policy db f
 
 (* ---- Maintenance ------------------------------------------------------------------------------ *)
 

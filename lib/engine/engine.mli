@@ -38,6 +38,14 @@ exception Duplicate_key of { table : string; key : Value.t }
 exception Read_only_transaction
 (** Raised when a [~read_only:true] transaction attempts a write. *)
 
+exception Transient_fault of { op : string; reason : string }
+(** A retryable infrastructure fault: raised by an installed fault
+    injector ({!set_fault_injector}) at an operation's fault point, and by
+    any operation on a transaction whose connection died in a crash
+    ({!crash_recover}).  The failed transaction is rolled back (or already
+    vanished in the crash); a client may immediately retry from scratch,
+    which is what {!retry_with} does. *)
+
 (** Virtual-time costs, charged through the scheduler so that benchmarks
     can model CPU-bound and disk-bound configurations.  All zero by
     default (no charging). *)
@@ -94,7 +102,17 @@ val create : ?scheduler:Ssi_util.Waitq.scheduler -> ?config:config -> unit -> t
     would block raise [Waitq.Would_block]. *)
 
 val set_on_commit : t -> (commit_record -> unit) -> unit
-(** Install the WAL-shipping hook (at most one; replication uses it). *)
+(** Register a WAL-shipping hook.  Hooks run in registration order at every
+    commit; replication registers one, observers (chaos harness, tests) may
+    register more. *)
+
+val set_fault_injector : t -> (op:string -> unit) option -> unit
+(** Install (or clear) a fault injector.  The injector is invoked at the
+    fault point of every data operation, [commit] and [prepare] with the
+    operation's name; raising {!Transient_fault} there aborts the calling
+    transaction and surfaces the fault to the client.  Faults are never
+    injected after the commit point, so an acknowledged commit is durable
+    and a faulted attempt wrote nothing — retrying is always safe. *)
 
 (** {1 Schema} *)
 
@@ -161,7 +179,10 @@ val prepared_gids : t -> string list
 
 val crash_recover : t -> unit
 (** Simulate a crash and recovery: in-flight transactions vanish, prepared
-    transactions survive with conservative SSI flags (§7.1). *)
+    transactions survive with conservative SSI flags (§7.1).  Sessions
+    still holding a handle to a vanished transaction see
+    {!Transient_fault} ("connection lost") on their next operation, so a
+    retry loop recovers them; suspended lock waiters are woken. *)
 
 (** {1 Data access} *)
 
@@ -194,10 +215,43 @@ val with_txn :
   ?isolation:isolation -> ?read_only:bool -> ?deferrable:bool -> t -> (txn -> 'a) -> 'a
 (** Run, commit on return, abort on exception. *)
 
+(** Client-side resilience policy for {!retry_with}: how many times to
+    retry, how long to back off between attempts (charged as virtual time
+    through the scheduler), and which errors count as retryable. *)
+type retry_policy = {
+  max_attempts : int;  (** total attempts, including the first; >= 1 *)
+  backoff_base : float;
+      (** virtual seconds charged before the second attempt; [0.] retries
+          immediately (the paper's §5.4 safe-retry assumption) *)
+  backoff_multiplier : float;  (** exponential growth factor per failure *)
+  backoff_max : float;  (** backoff ceiling in virtual seconds *)
+  jitter : float;
+      (** fraction of each backoff randomized, in [0..1]: the charged wait
+          is uniform in [b*(1-jitter), b].  Needs the [rng] argument of
+          {!retry_with}; without one the full backoff is charged. *)
+  deadline : float option;
+      (** per-transaction time budget: once this much virtual time has
+          passed since the first attempt, the next failure is fatal *)
+  retryable : exn -> bool;  (** classification: retry or re-raise *)
+}
+
+val default_retry_policy : retry_policy
+(** 100 attempts, no backoff, no deadline; retries
+    {!Serialization_failure} and {!Transient_fault}, everything else is
+    fatal. *)
+
+val retry_with :
+  ?isolation:isolation -> ?read_only:bool -> ?deferrable:bool ->
+  ?policy:retry_policy -> ?rng:Ssi_util.Rng.t -> t -> (txn -> 'a) -> 'a
+(** Like {!with_txn} but governed by [policy]: retryable failures restart
+    [f] in a fresh transaction after the policy's backoff; the last failure
+    is re-raised once attempts or the deadline run out (counted in
+    [stats.giveups]).  [rng] seeds the backoff jitter. *)
+
 val retry :
   ?isolation:isolation -> ?read_only:bool -> ?deferrable:bool -> ?max_attempts:int ->
   t -> (txn -> 'a) -> 'a
-(** Like {!with_txn} but retries on {!Serialization_failure} — the
+(** [retry_with] under {!default_retry_policy} (immediate retries) — the
     middleware retry loop the paper assumes (§3, §5.4).  Raises the last
     failure after [max_attempts] (default 100). *)
 
@@ -213,6 +267,8 @@ type stats = {
   mutable write_conflicts : int;
   mutable deadlocks : int;
   mutable retries : int;
+  mutable injected_faults : int;  (** {!Transient_fault}s raised by the injector *)
+  mutable giveups : int;  (** retry loops that exhausted their policy *)
 }
 
 val stats : t -> stats

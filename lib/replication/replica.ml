@@ -132,3 +132,20 @@ let wait_snapshot t ~after =
     Ssi_sim.Sim.wait t.safe_arrived
   done;
   t.last_safe
+
+let promote t ~primary mode =
+  let engine = E.create () in
+  let tables = List.sort compare (E.table_names primary) in
+  List.iter
+    (fun name ->
+      let schema = E.table_schema primary ~table:name in
+      let cols = Array.to_list (Schema.columns schema) in
+      let key = (Schema.columns schema).(Schema.key_index schema) in
+      E.create_table engine ~name ~cols ~key)
+    tables;
+  let r = begin_read t mode in
+  E.with_txn engine (fun txn ->
+      List.iter
+        (fun name -> List.iter (fun row -> E.insert txn ~table:name row) (scan r ~table:name ()))
+        tables);
+  engine

@@ -50,3 +50,14 @@ val scan : rtxn -> table:string -> ?filter:(Value.t array -> bool) -> unit -> Va
 val wait_snapshot : t -> after:int -> int
 (** In simulation: suspend until a safe snapshot with cseq > [after]
     appears, and return its cseq (the DEFERRABLE-style replica option). *)
+
+val promote : t -> primary:Ssi_engine.Engine.t -> [ `Latest_safe | `Latest_applied ] -> Ssi_engine.Engine.t
+(** Failover: build a fresh engine from the replica's state at the given
+    snapshot and return it as the new primary.  Promoting at [`Latest_safe]
+    yields a prefix of history that is guaranteed serializable (the §7.2
+    property), at the cost of losing commits after the last safe point;
+    [`Latest_applied] keeps everything applied but may expose SSI
+    anomalies.  Schemas are copied from [primary] (the failed engine's
+    in-memory catalog, standing in for the schema shipped in a base
+    backup); the returned engine runs in direct mode with the default
+    configuration. *)

@@ -1,7 +1,7 @@
 open Ssi_util
 
 exception Not_in_simulation
-exception Stuck of int
+exception Stuck of { count : int; labels : string list }
 
 type state = {
   events : (unit -> unit) Pqueue.t;
@@ -84,9 +84,12 @@ let run main =
   let stuck = st.unfinished in
   finish ();
   if stuck > 0 then begin
-    Hashtbl.iter (fun _ l -> Printf.eprintf "[sim] stuck process at %s\n%!" l) suspended_at;
+    let labels =
+      List.sort compare (Hashtbl.fold (fun _ l acc -> l :: acc) suspended_at [])
+    in
+    List.iter (fun l -> Printf.eprintf "[sim] stuck process at %s\n%!" l) labels;
     Hashtbl.reset suspended_at;
-    raise (Stuck stuck)
+    raise (Stuck { count = stuck; labels })
   end;
   Hashtbl.reset suspended_at;
   t

@@ -12,10 +12,13 @@
     under {!run}; calling them elsewhere raises [Not_in_simulation]. *)
 
 exception Not_in_simulation
-exception Stuck of int
+
+exception Stuck of { count : int; labels : string list }
 (** Raised by {!run} when the event queue drains while processes are still
-    suspended; the payload is the number of stuck processes (a lost-wakeup
-    or deadlock bug in the simulated program). *)
+    suspended: a lost-wakeup or deadlock bug in the simulated program.
+    [count] is the number of stuck processes and [labels] the
+    {!suspended_labels} of those suspended on a wait queue (sorted), so a
+    stuck chaos test names the queues it deadlocked on. *)
 
 val run : (unit -> unit) -> float
 (** [run main] executes [main] as the initial process and drives the event

@@ -37,6 +37,8 @@ type bench = {
   max_committed_sxacts : int;
   predlock : Ssi_core.Predlock.config;
   next_key_gaps : bool;
+  retry : E.retry_policy;
+  chaos : (E.t -> unit) option;
 }
 
 let in_memory_costs =
@@ -72,6 +74,8 @@ let default_bench =
     max_committed_sxacts = 256;
     predlock = Ssi_core.Predlock.default_config;
     next_key_gaps = false;
+    retry = E.default_retry_policy;
+    chaos = None;
   }
 
 type result = {
@@ -85,6 +89,10 @@ type result = {
   ssi_summarized : int;
   ssi_safe_snapshots : int;
   ssi_conflicts : int;
+  retries : int;
+  giveups : int;
+  injected_faults : int;
+  attempts_per_commit : float;
 }
 
 let pick_spec rng specs total_weight =
@@ -102,8 +110,14 @@ let run ~setup ~specs bench =
   let committed = ref 0 in
   let base_failures = ref 0 in
   let base_deadlocks = ref 0 in
+  let base_retries = ref 0 in
+  let base_giveups = ref 0 in
+  let base_injected = ref 0 in
   let end_failures = ref 0 in
   let end_deadlocks = ref 0 in
+  let end_retries = ref 0 in
+  let end_giveups = ref 0 in
+  let end_injected = ref 0 in
   let cpu_busy = ref 0. in
   let ssi_summarized = ref 0 in
   let ssi_safe = ref 0 in
@@ -135,6 +149,10 @@ let run ~setup ~specs bench =
         }
       in
       let db = E.create ~scheduler:Sim.scheduler ~config () in
+      (* The chaos hook attaches its replica/injector before the setup
+         transactions run, so the replica sees the full WAL stream; the
+         injector stays disarmed until its first burst event. *)
+      (match bench.chaos with Some chaos -> chaos db | None -> ());
       setup db;
       charging := true;
       let iso = isolation_of_mode bench.mode in
@@ -147,15 +165,20 @@ let run ~setup ~specs bench =
       Sim.spawn (fun () ->
           Sim.delay bench.warmup;
           base_failures := (E.stats db).E.serialization_failures;
-          base_deadlocks := (E.stats db).E.deadlocks);
+          base_deadlocks := (E.stats db).E.deadlocks;
+          base_retries := (E.stats db).E.retries;
+          base_giveups := (E.stats db).E.giveups;
+          base_injected := (E.stats db).E.injected_faults);
       for i = 1 to bench.workers do
         let rng = Rng.make (Hashtbl.hash (bench.seed, i)) in
+        let backoff_rng = Rng.make (Hashtbl.hash (bench.seed, i, "backoff")) in
         Sim.spawn (fun () ->
             while Sim.now () < t_end do
               let spec = pick_spec rng specs total_weight in
-              (try E.retry ~isolation:iso ~read_only:spec.read_only db (fun txn ->
-                   spec.body rng txn)
-               with E.Serialization_failure _ -> ());
+              (try
+                 E.retry_with ~isolation:iso ~read_only:spec.read_only ~policy:bench.retry
+                   ~rng:backoff_rng db (fun txn -> spec.body rng txn)
+               with E.Serialization_failure _ | E.Transient_fault _ -> ());
               if Sim.now () >= measure_from && Sim.now () < t_end then incr committed
             done;
             ignore rng0)
@@ -164,6 +187,9 @@ let run ~setup ~specs bench =
           Sim.delay (bench.warmup +. bench.duration);
           end_failures := (E.stats db).E.serialization_failures;
           end_deadlocks := (E.stats db).E.deadlocks;
+          end_retries := (E.stats db).E.retries;
+          end_giveups := (E.stats db).E.giveups;
+          end_injected := (E.stats db).E.injected_faults;
           let s = E.ssi_stats db in
           ssi_summarized := s.Ssi.summarized;
           ssi_safe := s.Ssi.safe_snapshots;
@@ -172,17 +198,26 @@ let run ~setup ~specs bench =
   |> fun final_time ->
   let failures = !end_failures - !base_failures in
   let deadlocks = !end_deadlocks - !base_deadlocks in
+  let retries = !end_retries - !base_retries in
+  let giveups = !end_giveups - !base_giveups in
+  let injected_faults = !end_injected - !base_injected in
   let denom = float_of_int (!committed + failures) in
   {
     committed = !committed;
     failures;
     deadlocks;
     sim_seconds = final_time;
-    throughput = float_of_int !committed /. bench.duration;
+    throughput =
+      (if bench.duration > 0. then float_of_int !committed /. bench.duration else 0.);
     failure_rate = (if denom > 0. then float_of_int failures /. denom else 0.);
     cpu_busy =
       !cpu_busy /. (float_of_int bench.cpu_cores *. (bench.warmup +. bench.duration));
     ssi_summarized = !ssi_summarized;
     ssi_safe_snapshots = !ssi_safe;
     ssi_conflicts = !ssi_conflicts;
+    retries;
+    giveups;
+    injected_faults;
+    attempts_per_commit =
+      (if !committed > 0 then 1. +. (float_of_int retries /. float_of_int !committed) else 0.);
   }

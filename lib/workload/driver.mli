@@ -38,11 +38,16 @@ type bench = {
   max_committed_sxacts : int;
   predlock : Ssi_core.Predlock.config;  (** SIREAD promotion thresholds *)
   next_key_gaps : bool;  (** next-key instead of page index-gap locks *)
+  retry : E.retry_policy;  (** client-side retry/backoff policy (§5.4) *)
+  chaos : (E.t -> unit) option;
+      (** called on the fresh engine before [setup], from inside the
+          simulation — the place to attach a replica, install a fault
+          injector, and [Sim.spawn] a {!Ssi_fault.Fault.execute} process *)
 }
 
 val default_bench : bench
 (** SSI, 4 workers, 5 simulated seconds (1s warmup), 4 cores, no disk,
-    in-memory cost model, seed 42. *)
+    in-memory cost model, seed 42, default retry policy, no chaos. *)
 
 type result = {
   committed : int;
@@ -55,6 +60,10 @@ type result = {
   ssi_summarized : int;  (** committed transactions summarized (§6.2) *)
   ssi_safe_snapshots : int;  (** read-only transactions that got safe snapshots *)
   ssi_conflicts : int;  (** rw-antidependencies flagged *)
+  retries : int;  (** attempts retried after a retryable failure *)
+  giveups : int;  (** retry loops exhausted (attempts or deadline) *)
+  injected_faults : int;  (** transient faults injected into engine ops *)
+  attempts_per_commit : float;  (** 1 + retries/committed; 0 if nothing committed *)
 }
 
 val run : setup:(E.t -> unit) -> specs:spec list -> bench -> result

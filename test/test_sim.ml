@@ -68,7 +68,11 @@ let test_stuck_detection () =
   (try
      ignore (Sim.run (fun () -> Sim.spawn (fun () -> Sim.wait q)));
      Alcotest.fail "expected Stuck"
-   with Sim.Stuck n -> Alcotest.(check int) "one stuck process" 1 n)
+   with Sim.Stuck { count; labels } ->
+     Alcotest.(check int) "one stuck process" 1 count;
+     Alcotest.(check (list string)) "names the wait queue"
+       [ Printf.sprintf "waitq:%d" (Waitq.id q) ]
+       labels)
 
 let test_exception_propagates () =
   Alcotest.check_raises "process exception escapes run" (Failure "boom") (fun () ->

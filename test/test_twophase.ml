@@ -138,6 +138,57 @@ let test_crash_recovery_conservative_flags () =
   E.with_txn db (fun t -> bump t 4);
   E.rollback_prepared db ~gid:"g1"
 
+let test_crash_between_prepare_and_commit () =
+  (* The window §7.1 exists for: the coordinator decided to commit, the
+     crash hit before COMMIT PREPARED arrived.  Recovery must leave the
+     transaction committable — even across repeated crashes. *)
+  let db = fresh () in
+  let tp = E.begin_txn db in
+  bump tp 1;
+  E.prepare tp ~gid:"g1";
+  E.crash_recover db;
+  E.crash_recover db (* a second crash changes nothing *);
+  Alcotest.(check (list string)) "still prepared after two crashes" [ "g1" ]
+    (E.prepared_gids db);
+  E.commit_prepared db ~gid:"g1";
+  Alcotest.(check int) "commit decision honoured" 1 (value db 1);
+  Alcotest.(check (list string)) "gone" [] (E.prepared_gids db)
+
+let test_crash_between_prepare_and_rollback () =
+  (* Same window, abort decision: ROLLBACK PREPARED after recovery. *)
+  let db = fresh () in
+  let tp = E.begin_txn db in
+  bump tp 1;
+  E.prepare tp ~gid:"g1";
+  E.crash_recover db;
+  E.rollback_prepared db ~gid:"g1";
+  Alcotest.(check int) "abort decision honoured" 0 (value db 1);
+  Alcotest.(check (list string)) "gone" [] (E.prepared_gids db)
+
+let test_recovered_prepared_never_victim () =
+  (* A recovered prepared transaction carries conservative conflict flags
+     but can no longer be aborted by SSI: when a dangerous structure forms
+     around it, the active transaction is always the victim, and once the
+     coordinator's COMMIT PREPARED lands, it wins. *)
+  let db = fresh () in
+  let tp = E.begin_txn db in
+  ignore (E.read tp ~table:"kv" ~key:(vi 1));
+  bump tp 2;
+  E.prepare tp ~gid:"g1";
+  E.crash_recover db;
+  (* Reading around the recovered transaction's pending write completes
+     the (assumed) dangerous structure: the reader gives way. *)
+  let ta = E.begin_txn db in
+  (try
+     ignore (E.read ta ~table:"kv" ~key:(vi 2));
+     E.commit ta;
+     Alcotest.fail "expected the active transaction to be the victim"
+   with E.Serialization_failure _ -> E.abort ta);
+  Alcotest.(check (list string)) "prepared transaction untouched" [ "g1" ]
+    (E.prepared_gids db);
+  E.commit_prepared db ~gid:"g1";
+  Alcotest.(check int) "recovered prepared transaction committed" 1 (value db 2)
+
 let test_write_lock_held_through_prepare () =
   let db = fresh () in
   let tp = E.begin_txn db in
@@ -183,5 +234,11 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_crash_recovery_basic;
           Alcotest.test_case "conservative flags" `Quick test_crash_recovery_conservative_flags;
+          Alcotest.test_case "crash between prepare and commit" `Quick
+            test_crash_between_prepare_and_commit;
+          Alcotest.test_case "crash between prepare and rollback" `Quick
+            test_crash_between_prepare_and_rollback;
+          Alcotest.test_case "recovered prepared never a victim" `Quick
+            test_recovered_prepared_never_victim;
         ] );
     ]
