@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- fig5b   -- Figure 5b (DBT-2++, disk-bound)
      dune exec bench/main.exe -- fig6    -- Figure 6 (RUBiS)
      dune exec bench/main.exe -- defer   -- §8.4 deferrable-transaction latency
+     dune exec bench/main.exe -- json    -- BENCH_<workload>.json summaries
      dune exec bench/main.exe -- micro   -- §8.1 CPU-overhead microbenchmarks
      dune exec bench/main.exe -- quick   -- reduced-size versions of everything
 
@@ -76,6 +77,53 @@ let ablations ~quick () =
   print_string
     (Experiments.render_ablation ~title:"" ~x_header:"gap locks"
        (Experiments.ablation_nextkey ~duration ()))
+
+(* ---- Machine-readable output --------------------------------------------------- *)
+
+(* One BENCH_<workload>.json per workload: throughput, latency percentiles
+   and SSI metric deltas per isolation mode, for CI artifacts and plotting
+   scripts.  The same measurements are also printed as a latency table. *)
+
+let bench_json ~quick () =
+  banner "Machine-readable summaries (BENCH_<workload>.json)";
+  let duration = if quick then 0.5 else 2.0 in
+  let run_workload name ~setup ~specs modes =
+    let ms =
+      List.map
+        (fun mode ->
+          let bench =
+            {
+              Driver.default_bench with
+              Driver.mode;
+              duration;
+              warmup = duration /. 5.;
+              costs = Driver.in_memory_costs;
+            }
+          in
+          let result = Driver.run ~setup ~specs bench in
+          { Experiments.x_label = name; x_value = 0.; mode; result })
+        modes
+    in
+    print_string (Experiments.render_latency ~title:(name ^ ":") ms);
+    let file = Printf.sprintf "BENCH_%s.json" name in
+    let oc = open_out file in
+    output_string oc (Experiments.bench_json ~workload:name ~duration ms);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" file
+  in
+  run_workload "sibench" ~setup:(Sibench.setup ~rows:100)
+    ~specs:(Sibench.specs ~rows:100 ())
+    Driver.all_modes;
+  let warehouses = if quick then 4 else 10 in
+  run_workload "tpcc"
+    ~setup:(Tpcc.setup ~warehouses)
+    ~specs:(Tpcc.specs ~warehouses ~ro_fraction:0.4)
+    [ Driver.SI; Driver.SSI; Driver.S2PL ];
+  let users = if quick then 100 else 400 in
+  let items = if quick then 120 else 450 in
+  run_workload "rubis" ~setup:(Rubis.setup ~users ~items)
+    ~specs:(Rubis.specs ~users ~items)
+    [ Driver.SI; Driver.SSI; Driver.S2PL ]
 
 (* ---- §8.1 microbenchmarks: real CPU cost of read tracking ------------------- *)
 
@@ -165,7 +213,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "quick" args in
   let args = List.filter (fun a -> a <> "quick") args in
-  let all = [ "fig4"; "fig5a"; "fig5b"; "fig6"; "defer"; "abl"; "micro" ] in
+  let all = [ "fig4"; "fig5a"; "fig5b"; "fig6"; "defer"; "abl"; "json"; "micro" ] in
   let selected = if args = [] then all else args in
   List.iter
     (fun name ->
@@ -176,6 +224,7 @@ let () =
       | "fig6" -> fig6 ~quick ()
       | "defer" -> defer ~quick ()
       | "abl" -> ablations ~quick ()
+      | "json" -> bench_json ~quick ()
       | "micro" -> micro ()
       | other ->
           Printf.eprintf "unknown experiment %S (expected: %s)\n" other

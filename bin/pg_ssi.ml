@@ -3,10 +3,15 @@
      pg_ssi demo                          -- write-skew walkthrough
      pg_ssi bench <fig4|fig5a|fig5b|fig6|defer> [--quick]
      pg_ssi workload <sibench|tpcc|rubis> --mode <si|ssi|ssi-noro|s2pl> ...
+     pg_ssi stats <sibench|tpcc|rubis>    -- run, then dump the metric registry
+     pg_ssi trace <sibench|tpcc|rubis>    -- run, then dump trace events as JSONL
 
    The bench subcommand prints the same tables as bench/main.exe; the
    workload subcommand runs a single configuration and reports its
-   numbers, which is handy for ad-hoc comparisons. *)
+   numbers, which is handy for ad-hoc comparisons.  stats and trace run
+   the same workloads but expose the observability core: every counter,
+   gauge and latency histogram the engine recorded, or the ring of
+   structured trace events. *)
 
 open Cmdliner
 open Ssi_workload
@@ -107,26 +112,78 @@ let mode_of_string = function
   | "s2pl" -> Driver.S2PL
   | other -> invalid_arg ("unknown mode " ^ other)
 
-let run_workload name mode_str workers duration seed =
-  let mode = mode_of_string mode_str in
-  let bench =
-    { Driver.default_bench with Driver.mode; workers; duration; warmup = duration /. 5.; seed }
-  in
-  let setup, specs =
-    match name with
-    | "sibench" -> (Sibench.setup ~rows:100, Sibench.specs ~rows:100 ())
-    | "tpcc" -> (Tpcc.setup ~warehouses:5, Tpcc.specs ~warehouses:5 ~ro_fraction:0.08)
-    | "rubis" -> (Rubis.setup ~users:200 ~items:220, Rubis.specs ~users:200 ~items:220)
-    | other -> invalid_arg ("unknown workload " ^ other)
-  in
-  let r = Driver.run ~setup ~specs bench in
+let workload_config = function
+  | "sibench" -> (Sibench.setup ~rows:100, Sibench.specs ~rows:100 ())
+  | "tpcc" -> (Tpcc.setup ~warehouses:5, Tpcc.specs ~warehouses:5 ~ro_fraction:0.08)
+  | "rubis" -> (Rubis.setup ~users:200 ~items:220, Rubis.specs ~users:200 ~items:220)
+  | other -> invalid_arg ("unknown workload " ^ other)
+
+let print_summary name mode workers duration (r : Driver.result) =
+  let lat x = if Float.is_finite x then Printf.sprintf "%.6f" x else "-" in
   Format.printf "workload=%s mode=%s workers=%d duration=%.1fs@." name
     (Driver.mode_name mode) workers duration;
   Format.printf "  committed    %d (%.0f tx/s)@." r.Driver.committed r.Driver.throughput;
   Format.printf "  failures     %d (%.3f%%), of which %d deadlocks@." r.Driver.failures
     (100. *. r.Driver.failure_rate) r.Driver.deadlocks;
-  Format.printf "  cpu busy     %.0f%%@." (100. *. r.Driver.cpu_busy);
+  Format.printf "  latency (s)  p50 %s  p95 %s  p99 %s@."
+    (lat r.Driver.latency_p50) (lat r.Driver.latency_p95) (lat r.Driver.latency_p99);
+  if r.Driver.abort_reasons <> [] then begin
+    Format.printf "  abort reasons:@.";
+    List.iter
+      (fun (reason, n) -> Format.printf "    %-44s %d@." reason n)
+      r.Driver.abort_reasons
+  end;
+  Format.printf "  cpu busy     %.0f%%@." (100. *. r.Driver.cpu_busy)
+
+let run_workload name mode_str workers duration seed =
+  let mode = mode_of_string mode_str in
+  let bench =
+    { Driver.default_bench with Driver.mode; workers; duration; warmup = duration /. 5.; seed }
+  in
+  let setup, specs = workload_config name in
+  let r = Driver.run ~setup ~specs bench in
+  print_summary name mode workers duration r;
   0
+
+(* ---- stats / trace --------------------------------------------------------- *)
+
+(* Run a workload while holding on to the engine (via the pre-setup chaos
+   hook), then dump the observability core: the full metric registry
+   (stats) or the retained trace-event ring as JSON Lines (trace). *)
+
+let run_observed name mode_str workers duration seed k =
+  let mode = mode_of_string mode_str in
+  let eng = ref None in
+  let bench =
+    {
+      Driver.default_bench with
+      Driver.mode;
+      workers;
+      duration;
+      warmup = duration /. 5.;
+      seed;
+      chaos = Some (fun db -> eng := Some db);
+    }
+  in
+  let setup, specs = workload_config name in
+  let r = Driver.run ~setup ~specs bench in
+  match !eng with
+  | Some db -> k db r
+  | None ->
+      prerr_endline "internal error: engine was not captured";
+      1
+
+let run_stats name mode_str workers duration seed =
+  run_observed name mode_str workers duration seed (fun db r ->
+      print_summary name (mode_of_string mode_str) workers duration r;
+      Format.printf "@.";
+      print_string (Ssi_obs.Obs.render (E.obs db));
+      0)
+
+let run_trace name mode_str workers duration seed =
+  run_observed name mode_str workers duration seed (fun db _r ->
+      print_string (Ssi_obs.Obs.events_to_jsonl (E.obs db));
+      0)
 
 (* ---- chaos ---------------------------------------------------------------- *)
 
@@ -251,21 +308,39 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc:"Regenerate a table or figure from the paper (§8)")
     Term.(const run_bench $ exp_arg $ quick_arg)
 
+let wl_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"WORKLOAD" ~doc:"sibench, tpcc or rubis")
+
+let mode_arg =
+  Arg.(value & opt string "ssi" & info [ "mode" ] ~doc:"si, ssi, ssi-noro or s2pl")
+
+let workers_arg = Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Concurrent sessions")
+
+let duration_arg =
+  Arg.(value & opt float 3.0 & info [ "duration" ] ~doc:"Measured simulated seconds")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
+
 let workload_cmd =
-  let wl_arg =
-    Arg.(required & pos 0 (some string) None
-         & info [] ~docv:"WORKLOAD" ~doc:"sibench, tpcc or rubis")
-  in
-  let mode_arg =
-    Arg.(value & opt string "ssi" & info [ "mode" ] ~doc:"si, ssi, ssi-noro or s2pl")
-  in
-  let workers_arg = Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Concurrent sessions") in
-  let duration_arg =
-    Arg.(value & opt float 3.0 & info [ "duration" ] ~doc:"Measured simulated seconds")
-  in
-  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed") in
   Cmd.v (Cmd.info "workload" ~doc:"Run one workload configuration and report its numbers")
     Term.(const run_workload $ wl_arg $ mode_arg $ workers_arg $ duration_arg $ seed_arg)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a workload, then dump every metric in the observability registry \
+          (counters, gauges, latency histograms) as a table")
+    Term.(const run_stats $ wl_arg $ mode_arg $ workers_arg $ duration_arg $ seed_arg)
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a workload, then dump the retained structured trace events (commits, \
+          aborts, conflicts, summarizations) as JSON Lines")
+    Term.(const run_trace $ wl_arg $ mode_arg $ workers_arg $ duration_arg $ seed_arg)
 
 let chaos_cmd =
   let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Fault-plan seed") in
@@ -296,4 +371,7 @@ let () =
     Cmd.info "pg_ssi" ~version:"1.0.0"
       ~doc:"Serializable Snapshot Isolation in PostgreSQL, reproduced in OCaml"
   in
-  exit (Cmd.eval' (Cmd.group info [ demo_cmd; bench_cmd; workload_cmd; chaos_cmd; sql_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ demo_cmd; bench_cmd; workload_cmd; stats_cmd; trace_cmd; chaos_cmd; sql_cmd ]))

@@ -103,5 +103,7 @@ let () =
         (fun row -> Format.printf "  %a: %a@." Value.pp row.(0) Value.pp row.(1))
         (List.sort compare (E.seq_scan t ~table:"accounts" ())));
 
-  let s = E.stats db in
-  Format.printf "commits=%d aborts=%d@." s.E.commits s.E.aborts
+  let obs = E.obs db in
+  Format.printf "commits=%d aborts=%d@."
+    (Ssi_obs.Obs.get_counter obs "engine.commits")
+    (Ssi_obs.Obs.get_counter obs "engine.aborts")

@@ -1,4 +1,5 @@
 open Ssi_storage
+module Obs = Ssi_obs.Obs
 
 type xid = Heap.xid
 type cseq = Ssi_mvcc.Mvcc.cseq
@@ -72,15 +73,49 @@ type owner_state = {
   pages_by_index : (string, int list ref) Hashtbl.t;
 }
 
+(* Registry handles, hoisted so the hot acquisition paths touch no
+   hashtable. *)
+type metrics = {
+  m_relation : Obs.counter;
+  m_page : Obs.counter;
+  m_tuple : Obs.counter;
+  m_index_page : Obs.counter;
+  m_index_key : Obs.counter;
+  m_index_inf : Obs.counter;
+  m_index_rel : Obs.counter;
+  m_promotions : Obs.counter;
+}
+
 type t = {
   table : entry Target_table.t;
   owners : (xid, owner_state) Hashtbl.t;
   config : config;
-  mutable promotions : int;
+  metrics : metrics;
 }
 
-let create ?(config = default_config) () =
-  { table = Target_table.create 1024; owners = Hashtbl.create 64; config; promotions = 0 }
+let create ?(config = default_config) ?(obs = Obs.create ()) () =
+  let metrics =
+    {
+      m_relation = Obs.counter obs "predlock.locks.relation";
+      m_page = Obs.counter obs "predlock.locks.page";
+      m_tuple = Obs.counter obs "predlock.locks.tuple";
+      m_index_page = Obs.counter obs "predlock.locks.index_page";
+      m_index_key = Obs.counter obs "predlock.locks.index_key";
+      m_index_inf = Obs.counter obs "predlock.locks.index_inf";
+      m_index_rel = Obs.counter obs "predlock.locks.index_rel";
+      m_promotions = Obs.counter obs "predlock.promotions";
+    }
+  in
+  { table = Target_table.create 1024; owners = Hashtbl.create 64; config; metrics }
+
+let count_acquired t = function
+  | Relation _ -> Obs.incr t.metrics.m_relation
+  | Page _ -> Obs.incr t.metrics.m_page
+  | Tuple _ -> Obs.incr t.metrics.m_tuple
+  | Index_page _ -> Obs.incr t.metrics.m_index_page
+  | Index_key _ -> Obs.incr t.metrics.m_index_key
+  | Index_inf _ -> Obs.incr t.metrics.m_index_inf
+  | Index_rel _ -> Obs.incr t.metrics.m_index_rel
 
 let entry_of t target =
   match Target_table.find_opt t.table target with
@@ -130,6 +165,7 @@ let grant t owner state target =
     Target_table.replace state.held target ();
     let e = entry_of t target in
     e.holders <- owner :: e.holders;
+    count_acquired t target;
     true
   end
   else false
@@ -145,7 +181,7 @@ let lock_index_rel t ~owner ~index =
 (* Promote all of the owner's page and tuple locks on [rel] to a single
    relation lock. *)
 let promote_owner_relation t owner state rel =
-  t.promotions <- t.promotions + 1;
+  Obs.incr t.metrics.m_promotions;
   (match Hashtbl.find_opt state.pages_by_rel rel with
   | None -> ()
   | Some pages ->
@@ -206,7 +242,7 @@ let lock_tuple t ~owner ~rel ~key ~page =
       in
       tuples := target :: !tuples;
       if List.length !tuples > t.config.max_tuple_locks_per_page then begin
-        t.promotions <- t.promotions + 1;
+        Obs.incr t.metrics.m_promotions;
         lock_page t ~owner ~rel ~page
       end
     end
@@ -215,7 +251,7 @@ let lock_tuple t ~owner ~rel ~key ~page =
 (* Promote all of the owner's index-page locks on [index] to a whole-index
    lock. *)
 let promote_owner_index t owner state index =
-  t.promotions <- t.promotions + 1;
+  Obs.incr t.metrics.m_promotions;
   (match Hashtbl.find_opt state.pages_by_index index with
   | None -> ()
   | Some pages ->
@@ -239,7 +275,7 @@ let note_index_fine t owner state index target =
   if List.length !fine > t.config.max_page_locks_per_index then begin
     (* Drop all fine-grained locks on this index (we do not track their
        identities individually here; scan the owner's held set). *)
-    t.promotions <- t.promotions + 1;
+    Obs.incr t.metrics.m_promotions;
     let stale = ref [] in
     Target_table.iter
       (fun tg () ->
@@ -506,4 +542,4 @@ let total_lock_count t =
       acc + List.length e.holders + (match e.old_committed with Some _ -> 1 | None -> 0))
     t.table 0
 
-let promotions t = t.promotions
+let promotions t = Obs.counter_value t.metrics.m_promotions

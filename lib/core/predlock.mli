@@ -56,7 +56,10 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?obs:Ssi_obs.Obs.t -> unit -> t
+(** [obs] is the metrics registry this lock manager reports into
+    ([predlock.locks.<granularity>] acquisition counters and
+    [predlock.promotions]); a private registry is created when omitted. *)
 
 (** {1 Acquisition} *)
 

@@ -1,6 +1,7 @@
 open Ssi_storage
 open Ssi_util
 module Mvcc = Ssi_mvcc.Mvcc
+module Obs = Ssi_obs.Obs
 
 type cseq = Mvcc.cseq
 
@@ -47,13 +48,16 @@ type node = {
   safety_wq : Waitq.t;
 }
 
-type stats = {
-  mutable conflicts_flagged : int;
-  mutable dooms : int;
-  mutable failures_raised : int;
-  mutable summarized : int;
-  mutable safe_snapshots : int;
-  mutable cleanups : int;
+(* Registry handles for the per-event counters, hoisted out of the hot
+   paths.  Victim-by-reason counters ([ssi.victims.<reason>]) are created
+   lazily — dooming is rare and the reason set is open-ended. *)
+type metrics = {
+  m_conflicts : Obs.counter;
+  m_dooms : Obs.counter;
+  m_failures : Obs.counter;
+  m_summarized : Obs.counter;
+  m_safe_snapshots : Obs.counter;
+  m_cleanups : Obs.counter;
 }
 
 (* Summarized committed transactions: commit cseq plus the earliest commit
@@ -69,31 +73,44 @@ type t = {
   mutable active : node list;  (** Active and Prepared *)
   committed : node Queue.t;  (** retained committed nodes, commit order *)
   oldserxid : (Heap.xid, old_entry) Hashtbl.t;
-  stats : stats;
+  obs : Obs.t;
+  metrics : metrics;
 }
 
-let create ?(config = default_config) clog =
+let create ?(config = default_config) ?(obs = Obs.create ()) clog =
   {
     clog;
-    locks = Predlock.create ~config:config.predlock ();
+    locks = Predlock.create ~config:config.predlock ~obs ();
     config;
     by_xid = Hashtbl.create 64;
     active = [];
     committed = Queue.create ();
     oldserxid = Hashtbl.create 64;
-    stats =
+    obs;
+    metrics =
       {
-        conflicts_flagged = 0;
-        dooms = 0;
-        failures_raised = 0;
-        summarized = 0;
-        safe_snapshots = 0;
-        cleanups = 0;
+        m_conflicts = Obs.counter obs "ssi.conflicts";
+        m_dooms = Obs.counter obs "ssi.dooms";
+        m_failures = Obs.counter obs "ssi.failures";
+        m_summarized = Obs.counter obs "ssi.summarized";
+        m_safe_snapshots = Obs.counter obs "ssi.safe_snapshots";
+        m_cleanups = Obs.counter obs "ssi.cleanups";
       };
   }
 
 let locks t = t.locks
-let stats t = t.stats
+let obs t = t.obs
+
+(* [ssi.victims.<slug>] — one counter per abort reason, so reports can
+   break down serialization failures the way Figure 6 of the paper breaks
+   down abort causes. *)
+let reason_slug reason =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | '0' .. '9' -> c | _ -> '_')
+    (String.lowercase_ascii reason)
+
+let count_victim t reason = Obs.incr (Obs.counter t.obs ("ssi.victims." ^ reason_slug reason))
 let max_committed_sxacts t = t.config.max_committed_sxacts
 
 let set_max_committed_sxacts t n =
@@ -112,7 +129,10 @@ let committed_retained t = Queue.length t.committed
 let oldserxid_size t = Hashtbl.length t.oldserxid
 
 let fail t node reason =
-  t.stats.failures_raised <- t.stats.failures_raised + 1;
+  Obs.incr t.metrics.m_failures;
+  count_victim t reason;
+  Obs.trace t.obs "ssi.fail"
+    ~fields:[ ("xid", Obs.I node.xid); ("reason", Obs.S reason) ];
   raise (Serialization_failure { xid = node.xid; reason })
 
 let check_doomed node =
@@ -156,10 +176,13 @@ let dangerous t ~t1 ~t2 ~t3_cseq =
 
 (* ---- Victim selection (§5.4, §7.1) -------------------------------------- *)
 
-let doom t victim =
+let doom ?(reason = "doomed by first committer") t victim =
   if not victim.doomed then begin
     victim.doomed <- true;
-    t.stats.dooms <- t.stats.dooms + 1
+    Obs.incr t.metrics.m_dooms;
+    count_victim t reason;
+    Obs.trace t.obs "ssi.doom"
+      ~fields:[ ("xid", Obs.I victim.xid); ("reason", Obs.S reason) ]
   end
 
 let abortable n = (n.status = Active) && not n.doomed
@@ -169,11 +192,11 @@ let abortable n = (n.status = Active) && not n.doomed
    transaction, raise; otherwise doom it and let the actor proceed. *)
 let victimize t ~actor ~t1 ~t2 ~reason =
   if abortable t2 && t2.status <> Prepared then
-    if t2 == actor then fail t actor reason else doom t t2
+    if t2 == actor then fail t actor reason else doom ~reason t t2
   else
     match t1 with
     | Some u when abortable u && u.status <> Prepared ->
-        if u == actor then fail t actor reason else doom t u
+        if u == actor then fail t actor reason else doom ~reason t u
     | Some _ | None ->
         (* No abortable T1/T2 (e.g. prepared pivot, committed reader): the
            actor must give way (§7.1: safe retry can be lost here). *)
@@ -221,7 +244,7 @@ let flag_conflict t ~actor ~reader ~writer =
   then begin
     reader.out_conflicts <- writer :: reader.out_conflicts;
     writer.in_conflicts <- reader :: writer.in_conflicts;
-    t.stats.conflicts_flagged <- t.stats.conflicts_flagged + 1;
+    Obs.incr t.metrics.m_conflicts;
     if is_committed writer then note_out_target_committed reader writer.commit_cseq;
     (* writer as pivot: reader --rw--> writer --rw--> T3. *)
     check_pivot_in t ~actor ~r:reader ~t2:writer;
@@ -250,7 +273,8 @@ let finalize_safety t r =
     r.safety_known <- true;
     if not r.unsafe then begin
       r.safe <- true;
-      t.stats.safe_snapshots <- t.stats.safe_snapshots + 1;
+      Obs.incr t.metrics.m_safe_snapshots;
+      Obs.trace t.obs "ssi.safe_snapshot" ~fields:[ ("xid", Obs.I r.xid) ];
       drop_tracking t r
     end;
     Waitq.wake_all r.safety_wq
@@ -345,7 +369,7 @@ let conflict_out t node ~writer =
         match Hashtbl.find_opt t.oldserxid writer with
         | None -> () (* writer was not serializable *)
         | Some { old_commit; old_earliest_out } ->
-            t.stats.conflicts_flagged <- t.stats.conflicts_flagged + 1;
+            Obs.incr t.metrics.m_conflicts;
             note_out_target_committed node old_commit;
             (* Summarized writer as pivot: node --rw--> W --rw--> T3 with
                T3 at W's recorded earliest out-conflict (§6.2). *)
@@ -383,7 +407,7 @@ let conflict_in_readers t node readers =
     xids;
   match old_committed with
   | Some c when c >= node.snap_cseq ->
-      t.stats.conflicts_flagged <- t.stats.conflicts_flagged + 1;
+      Obs.incr t.metrics.m_conflicts;
       if c > node.summarized_in_max then node.summarized_in_max <- c;
       (* Summarized committed reader --rw--> node --rw--> T3? *)
       let eo = effective_earliest_out node in
@@ -422,7 +446,9 @@ let summarize_oldest t =
   match Queue.take_opt t.committed with
   | None -> ()
   | Some c ->
-      t.stats.summarized <- t.stats.summarized + 1;
+      Obs.incr t.metrics.m_summarized;
+      Obs.trace t.obs "ssi.summarize"
+        ~fields:[ ("xid", Obs.I c.xid); ("cseq", Obs.I c.commit_cseq) ];
       Predlock.summarize_owner t.locks c.xid ~cseq:c.commit_cseq;
       Hashtbl.replace t.oldserxid c.xid
         { old_commit = c.commit_cseq; old_earliest_out = effective_earliest_out c };
@@ -436,7 +462,7 @@ let summarize_oldest t =
       Hashtbl.remove t.by_xid c.xid
 
 let cleanup t =
-  t.stats.cleanups <- t.stats.cleanups + 1;
+  Obs.incr t.metrics.m_cleanups;
   let horizon = min_active_snap t in
   (* Aggressive cleanup (§6.1): a committed transaction's state is dead once
      no active transaction is concurrent with it. *)
@@ -522,7 +548,10 @@ let precommit t node =
                      T1: no way to break the structure by dooming — the
                      committer must give way. *)
                   fail t node "dangerous structure with prepared pivot"
-                else List.iter (doom t) abortable_t1s
+                else
+                  List.iter
+                    (doom ~reason:"dangerous structure with prepared pivot" t)
+                    abortable_t1s
               end
               else doom t t2
           end)

@@ -47,9 +47,19 @@ type node
 
 type t
 
-val create : ?config:config -> Ssi_mvcc.Mvcc.Clog.t -> t
+val create : ?config:config -> ?obs:Ssi_obs.Obs.t -> Ssi_mvcc.Mvcc.Clog.t -> t
+(** [obs] is the metrics/trace registry this manager (and the predicate
+    lock manager it owns) reports into; a private registry is created
+    when omitted.  See {!obs} for the metric names. *)
 
 val locks : t -> Predlock.t
+
+val obs : t -> Ssi_obs.Obs.t
+(** The registry behind this manager's [ssi.*] and [predlock.*] metrics:
+    [ssi.conflicts], [ssi.dooms], [ssi.failures], [ssi.summarized],
+    [ssi.safe_snapshots], [ssi.cleanups], and per-abort-reason
+    [ssi.victims.<reason>] counters, plus [ssi.fail] / [ssi.doom] /
+    [ssi.summarize] / [ssi.safe_snapshot] trace events. *)
 
 val max_committed_sxacts : t -> int
 
@@ -152,15 +162,6 @@ val recover : t -> unit
 
 (** {1 Introspection} *)
 
-type stats = {
-  mutable conflicts_flagged : int;
-  mutable dooms : int;
-  mutable failures_raised : int;
-  mutable summarized : int;
-  mutable safe_snapshots : int;
-  mutable cleanups : int;
-}
-
 type node_info = {
   info_xid : Heap.xid;
   info_status : string;  (** "active" | "prepared" | "committed" | "aborted" *)
@@ -180,7 +181,6 @@ val graph_dot : t -> string
 (** The same graph in Graphviz DOT format (rw edges only, as in the
     paper's Figure 3). *)
 
-val stats : t -> stats
 val active_count : t -> int
 val committed_retained : t -> int
 val oldserxid_size : t -> int

@@ -7,6 +7,7 @@ module Visibility = Mvcc.Visibility
 module Ssi = Ssi_core.Ssi
 module Btree = Ssi_btree.Btree
 module Lockmgr = Ssi_lockmgr.Lockmgr
+module Obs = Ssi_obs.Obs
 
 type isolation = Read_committed | Repeatable_read | Serializable | Serializable_2pl
 
@@ -75,15 +76,27 @@ let default_config =
     charge_io = None;
   }
 
-type stats = {
-  mutable commits : int;
-  mutable aborts : int;
-  mutable serialization_failures : int;
-  mutable write_conflicts : int;
-  mutable deadlocks : int;
-  mutable retries : int;
-  mutable injected_faults : int;
-  mutable giveups : int;
+(* Registry handles hoisted out of the hot paths.  The latency histograms
+   record virtual-clock seconds per operation ([engine.latency.<op>]);
+   under the direct (non-simulated) scheduler the clock is constant and
+   the observations are zeros. *)
+type metrics = {
+  m_begins : Obs.counter;
+  m_commits : Obs.counter;
+  m_aborts : Obs.counter;
+  m_serialization_failures : Obs.counter;
+  m_write_conflicts : Obs.counter;
+  m_deadlocks : Obs.counter;
+  m_retries : Obs.counter;
+  m_giveups : Obs.counter;
+  m_faults : Obs.counter;
+  h_read : Obs.histogram;
+  h_index_scan : Obs.histogram;
+  h_seq_scan : Obs.histogram;
+  h_insert : Obs.histogram;
+  h_update : Obs.histogram;
+  h_delete : Obs.histogram;
+  h_commit : Obs.histogram;
 }
 
 type index_s = {
@@ -107,7 +120,8 @@ type t = {
   prepared_by_gid : (string, txn) Hashtbl.t;
   sched : Waitq.scheduler;
   cfg : config;
-  stats : stats;
+  obs : Obs.t;
+  metrics : metrics;
   mutable on_commit : (commit_record -> unit) list;  (** registration order *)
   mutable fault_injector : (op:string -> unit) option;
   mutable tracer : (string -> unit) option;
@@ -140,28 +154,39 @@ and undo_entry =
   | U_index_entry of index_s * Value.t * Value.t
   | U_set_xmax of Heap.tuple
 
-let create ?(scheduler = Waitq.direct) ?(config = default_config) () =
+let create ?(scheduler = Waitq.direct) ?(config = default_config) ?obs () =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  Obs.set_clock obs scheduler.Waitq.now;
   let clog = Clog.create () in
   {
     clog;
-    ssi_mgr = Ssi.create ~config:config.ssi clog;
-    locks = Lockmgr.create scheduler;
+    ssi_mgr = Ssi.create ~config:config.ssi ~obs clog;
+    locks = Lockmgr.create ~obs scheduler;
     tables = Hashtbl.create 16;
     idx_by_name = Hashtbl.create 16;
     active = Hashtbl.create 64;
     prepared_by_gid = Hashtbl.create 8;
     sched = scheduler;
     cfg = config;
-    stats =
+    obs;
+    metrics =
       {
-        commits = 0;
-        aborts = 0;
-        serialization_failures = 0;
-        write_conflicts = 0;
-        deadlocks = 0;
-        retries = 0;
-        injected_faults = 0;
-        giveups = 0;
+        m_begins = Obs.counter obs "engine.begins";
+        m_commits = Obs.counter obs "engine.commits";
+        m_aborts = Obs.counter obs "engine.aborts";
+        m_serialization_failures = Obs.counter obs "engine.serialization_failures";
+        m_write_conflicts = Obs.counter obs "engine.write_conflicts";
+        m_deadlocks = Obs.counter obs "engine.deadlocks";
+        m_retries = Obs.counter obs "engine.retries";
+        m_giveups = Obs.counter obs "engine.giveups";
+        m_faults = Obs.counter obs "engine.faults_injected";
+        h_read = Obs.histogram obs "engine.latency.read";
+        h_index_scan = Obs.histogram obs "engine.latency.index_scan";
+        h_seq_scan = Obs.histogram obs "engine.latency.seq_scan";
+        h_insert = Obs.histogram obs "engine.latency.insert";
+        h_update = Obs.histogram obs "engine.latency.update";
+        h_delete = Obs.histogram obs "engine.latency.delete";
+        h_commit = Obs.histogram obs "engine.latency.commit";
       };
     on_commit = [];
     fault_injector = None;
@@ -189,24 +214,12 @@ let fault_point db ~op =
   | Some inject -> (
       try inject ~op
       with Transient_fault _ as e ->
-        db.stats.injected_faults <- db.stats.injected_faults + 1;
+        Obs.incr db.metrics.m_faults;
+        Obs.trace db.obs "fault" ~fields:[ ("op", Obs.S op) ];
         trace db "fault injected at %s" op;
         raise e)
 
-let stats t = t.stats
-
-let reset_stats t =
-  let s = t.stats in
-  s.commits <- 0;
-  s.aborts <- 0;
-  s.serialization_failures <- 0;
-  s.write_conflicts <- 0;
-  s.deadlocks <- 0;
-  s.retries <- 0;
-  s.injected_faults <- 0;
-  s.giveups <- 0
-
-let ssi_stats t = Ssi.stats t.ssi_mgr
+let obs t = t.obs
 let ssi t = t.ssi_mgr
 let active_transactions t = Hashtbl.length t.active
 let table_names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
@@ -383,6 +396,10 @@ let begin_txn ?(isolation = Serializable) ?(read_only = false) ?(deferrable = fa
     make_txn db ~iso:isolation ~ro:read_only ~xid ~snapshot ~sxact
   end
 
+let begin_txn ?isolation ?read_only ?deferrable db =
+  Obs.incr db.metrics.m_begins;
+  begin_txn ?isolation ?read_only ?deferrable db
+
 (* The SSI hooks are live only while the transaction is tracked: plain
    snapshot-isolation transactions and safe-snapshot read-only transactions
    have no (active) sxact. *)
@@ -498,7 +515,7 @@ let wait_for_xid txn other =
                  | Some t' -> cycles_back t' (steps + 1))
       in
       if cycles_back holder 0 then begin
-        txn.db.stats.deadlocks <- txn.db.stats.deadlocks + 1;
+        Obs.incr txn.db.metrics.m_deadlocks;
         raise (Serialization_failure { xid = txn.txn_xid; reason = "deadlock detected" })
       end;
       txn.write_waiting_for <- Some other;
@@ -635,7 +652,7 @@ let fetch txn tbl key ~for_write =
 let map_lock_errors txn f =
   try f ()
   with Lockmgr.Deadlock { victim; _ } ->
-    txn.db.stats.deadlocks <- txn.db.stats.deadlocks + 1;
+    Obs.incr txn.db.metrics.m_deadlocks;
     raise (Serialization_failure { xid = victim; reason = "deadlock detected" })
 
 let read txn ~table ~key =
@@ -881,7 +898,7 @@ let rec locate_for_write txn tbl key =
                 txn.snapshot <- Snapshot.take db.clog ~owner:txn.txn_xid;
                 locate_for_write txn tbl key
             | Repeatable_read | Serializable | Serializable_2pl ->
-                db.stats.write_conflicts <- db.stats.write_conflicts + 1;
+                Obs.incr db.metrics.m_write_conflicts;
                 raise
                   (Serialization_failure
                      {
@@ -898,7 +915,7 @@ let rec locate_for_write txn tbl key =
                     txn.snapshot <- Snapshot.take db.clog ~owner:txn.txn_xid;
                     locate_for_write txn tbl key
                 | Repeatable_read | Serializable | Serializable_2pl ->
-                    db.stats.write_conflicts <- db.stats.write_conflicts + 1;
+                    Obs.incr db.metrics.m_write_conflicts;
                     raise
                       (Serialization_failure
                          {
@@ -973,6 +990,38 @@ let delete txn ~table ~key =
             ~pages:1;
           true)
 
+(* ---- Per-operation latency ------------------------------------------------------------- *)
+
+(* Wrap every data operation with an [engine.latency.<op>] histogram
+   observation of the virtual time it took — including lock waits, cost
+   charges and I/O stalls, and also on the failure path (a faulted or
+   conflicted operation still occupied the session). *)
+let timed db h f =
+  let t0 = db.sched.now () in
+  match f () with
+  | r ->
+      Obs.observe h (db.sched.now () -. t0);
+      r
+  | exception e ->
+      Obs.observe h (db.sched.now () -. t0);
+      raise e
+
+let read txn ~table ~key = timed txn.db txn.db.metrics.h_read (fun () -> read txn ~table ~key)
+
+let index_scan txn ~table ~index ~lo ~hi =
+  timed txn.db txn.db.metrics.h_index_scan (fun () -> index_scan txn ~table ~index ~lo ~hi)
+
+let seq_scan txn ~table ?filter () =
+  timed txn.db txn.db.metrics.h_seq_scan (fun () -> seq_scan txn ~table ?filter ())
+
+let insert txn ~table row = timed txn.db txn.db.metrics.h_insert (fun () -> insert txn ~table row)
+
+let update txn ~table ~key ~f =
+  timed txn.db txn.db.metrics.h_update (fun () -> update txn ~table ~key ~f)
+
+let delete txn ~table ~key =
+  timed txn.db txn.db.metrics.h_delete (fun () -> delete txn ~table ~key)
+
 (* ---- Commit / abort -------------------------------------------------------------------- *)
 
 let finish_txn txn =
@@ -1014,7 +1063,8 @@ let abort txn =
     | Some gid -> Hashtbl.remove db.prepared_by_gid gid
     | None -> ());
     finish_txn txn;
-    db.stats.aborts <- db.stats.aborts + 1
+    Obs.incr db.metrics.m_aborts;
+    Obs.trace db.obs "txn.abort" ~fields:[ ("xid", Obs.I txn.txn_xid) ]
   end
 
 let commit txn =
@@ -1033,9 +1083,14 @@ let commit txn =
   trace db "x%d commit cseq=%d" txn.txn_xid cseq;
   (match txn.sxact with Some node -> Ssi.committed db.ssi_mgr node ~commit_cseq:cseq | None -> ());
   finish_txn txn;
-  db.stats.commits <- db.stats.commits + 1;
+  Obs.incr db.metrics.m_commits;
+  Obs.trace db.obs "txn.commit" ~fields:[ ("xid", Obs.I txn.txn_xid); ("cseq", Obs.I cseq) ];
   emit_wal db txn cseq;
   charge_io db db.cfg.costs.io_commit
+
+(* Commit latency includes the pre-commit SSI check, the commit-record
+   I/O charge, and any WAL-hook work. *)
+let commit txn = timed txn.db txn.db.metrics.h_commit (fun () -> commit txn)
 
 (* ---- Two-phase commit (§7.1) -------------------------------------------------------------- *)
 
@@ -1063,7 +1118,9 @@ let commit_prepared db ~gid =
   let cseq = Clog.commit db.clog txn.txn_xid in
   (match txn.sxact with Some node -> Ssi.committed db.ssi_mgr node ~commit_cseq:cseq | None -> ());
   finish_txn txn;
-  db.stats.commits <- db.stats.commits + 1;
+  Obs.incr db.metrics.m_commits;
+  Obs.trace db.obs "txn.commit"
+    ~fields:[ ("xid", Obs.I txn.txn_xid); ("cseq", Obs.I cseq); ("gid", Obs.S gid) ];
   emit_wal db txn cseq;
   charge_io db db.cfg.costs.io_commit
 
@@ -1097,7 +1154,8 @@ let crash_recover db =
       Waitq.wake_all txn.commit_wq)
     in_flight;
   Ssi.recover db.ssi_mgr;
-  db.stats.aborts <- db.stats.aborts + List.length in_flight
+  Obs.incr ~by:(List.length in_flight) db.metrics.m_aborts;
+  Obs.trace db.obs "crash" ~fields:[ ("in_flight", Obs.I (List.length in_flight)) ]
 
 (* ---- Helpers -------------------------------------------------------------------------------- *)
 
@@ -1160,8 +1218,10 @@ let retry_with ?isolation ?read_only ?deferrable ?(policy = default_retry_policy
     | result -> result
     | exception e when policy.retryable e ->
         (match e with
-        | Serialization_failure _ ->
-            db.stats.serialization_failures <- db.stats.serialization_failures + 1
+        | Serialization_failure { xid; reason } ->
+            Obs.incr db.metrics.m_serialization_failures;
+            Obs.trace db.obs "txn.serialization_failure"
+              ~fields:[ ("xid", Obs.I xid); ("reason", Obs.S reason) ]
         | _ -> ());
         let out_of_time =
           match policy.deadline with
@@ -1169,11 +1229,12 @@ let retry_with ?isolation ?read_only ?deferrable ?(policy = default_retry_policy
           | None -> false
         in
         if n >= policy.max_attempts || out_of_time then begin
-          db.stats.giveups <- db.stats.giveups + 1;
+          Obs.incr db.metrics.m_giveups;
+          Obs.trace db.obs "txn.giveup" ~fields:[ ("attempts", Obs.I n) ];
           raise e
         end
         else begin
-          db.stats.retries <- db.stats.retries + 1;
+          Obs.incr db.metrics.m_retries;
           let b = backoff_after n in
           if b > 0. then db.sched.charge b;
           attempt (n + 1)

@@ -97,9 +97,14 @@ val default_config : config
 type t
 type txn
 
-val create : ?scheduler:Ssi_util.Waitq.scheduler -> ?config:config -> unit -> t
+val create :
+  ?scheduler:Ssi_util.Waitq.scheduler -> ?config:config -> ?obs:Ssi_obs.Obs.t -> unit -> t
 (** With no scheduler, the engine runs in direct mode: operations that
-    would block raise [Waitq.Would_block]. *)
+    would block raise [Waitq.Would_block].  [obs] is the observability
+    registry shared by every layer of this engine (SSI manager, predicate
+    and heavyweight lock managers, and the engine itself); a private one
+    is created when omitted.  The registry's clock is pointed at the
+    scheduler's virtual clock. *)
 
 val set_on_commit : t -> (commit_record -> unit) -> unit
 (** Register a WAL-shipping hook.  Hooks run in registration order at every
@@ -260,20 +265,21 @@ val retry :
 val vacuum : t -> unit
 (** Prune dead tuple versions no live snapshot can see. *)
 
-type stats = {
-  mutable commits : int;
-  mutable aborts : int;
-  mutable serialization_failures : int;
-  mutable write_conflicts : int;
-  mutable deadlocks : int;
-  mutable retries : int;
-  mutable injected_faults : int;  (** {!Transient_fault}s raised by the injector *)
-  mutable giveups : int;  (** retry loops that exhausted their policy *)
-}
+val obs : t -> Ssi_obs.Obs.t
+(** The engine's observability registry.  Engine-level metrics:
+    [engine.begins], [engine.commits], [engine.aborts],
+    [engine.serialization_failures] (counted per failed attempt in
+    {!retry_with}), [engine.write_conflicts], [engine.deadlocks],
+    [engine.retries], [engine.giveups], [engine.faults_injected], and
+    per-operation virtual-time latency histograms
+    [engine.latency.read|index_scan|seq_scan|insert|update|delete|commit].
+    The same registry carries the [ssi.*], [predlock.*] and [lockmgr.*]
+    metrics of the layers below, and trace events ([txn.commit],
+    [txn.abort], [txn.serialization_failure], [txn.giveup], [fault],
+    [crash], [ssi.*]).  Windowed readings come from [Obs.snap] plus the
+    [Obs.delta_*] accessors, which replaced the old mutable stats
+    records. *)
 
-val stats : t -> stats
-val reset_stats : t -> unit
-val ssi_stats : t -> Ssi_core.Ssi.stats
 val ssi : t -> Ssi_core.Ssi.t
 val active_transactions : t -> int
 val table_names : t -> string list

@@ -340,6 +340,86 @@ let render_fig6 measurements =
   in
   Printf.sprintf "Figure 6: RUBiS bidding mix\n%s" (Tablefmt.render ~header rows)
 
+let render_latency ~title measurements =
+  let header =
+    [ "mode"; "tx/s"; "p50 lat (s)"; "p95 lat (s)"; "p99 lat (s)"; "failure rate" ]
+  in
+  let f x = if Float.is_finite x then Printf.sprintf "%.6f" x else "-" in
+  let rows =
+    List.map
+      (fun m ->
+        let r = m.result in
+        [
+          Driver.mode_name m.mode;
+          Printf.sprintf "%.0f" r.Driver.throughput;
+          f r.Driver.latency_p50;
+          f r.Driver.latency_p95;
+          f r.Driver.latency_p99;
+          Printf.sprintf "%.3f%%" (100. *. r.Driver.failure_rate);
+        ])
+      measurements
+  in
+  Printf.sprintf "%s\n%s" title (Tablefmt.render ~header rows)
+
+(* ---- Machine-readable output (BENCH_<workload>.json) ------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_num x = if Float.is_finite x then Printf.sprintf "%.9g" x else "null"
+
+let isolation_name = function
+  | E.Read_committed -> "read committed"
+  | E.Repeatable_read -> "repeatable read"
+  | E.Serializable -> "serializable"
+  | E.Serializable_2pl -> "serializable (2PL)"
+
+let bench_json ~workload ~duration measurements =
+  let mode_obj m =
+    let r = m.result in
+    let abort_reasons =
+      String.concat ","
+        (List.map
+           (fun (reason, n) -> Printf.sprintf "{\"reason\":\"%s\",\"count\":%d}" (json_escape reason) n)
+           r.Driver.abort_reasons)
+    in
+    String.concat ""
+      [
+        "{";
+        Printf.sprintf "\"mode\":\"%s\"," (json_escape (Driver.mode_name m.mode));
+        Printf.sprintf "\"isolation\":\"%s\","
+          (isolation_name (Driver.isolation_of_mode m.mode));
+        Printf.sprintf "\"x\":\"%s\"," (json_escape m.x_label);
+        Printf.sprintf "\"committed\":%d," r.Driver.committed;
+        Printf.sprintf "\"failures\":%d," r.Driver.failures;
+        Printf.sprintf "\"throughput_tps\":%s," (json_num r.Driver.throughput);
+        Printf.sprintf "\"failure_rate\":%s," (json_num r.Driver.failure_rate);
+        Printf.sprintf "\"mean_latency_s\":%s," (json_num r.Driver.latency_mean);
+        Printf.sprintf "\"p50_latency_s\":%s," (json_num r.Driver.latency_p50);
+        Printf.sprintf "\"p95_latency_s\":%s," (json_num r.Driver.latency_p95);
+        Printf.sprintf "\"p99_latency_s\":%s," (json_num r.Driver.latency_p99);
+        Printf.sprintf "\"retries\":%d," r.Driver.retries;
+        Printf.sprintf "\"ssi_conflicts\":%d," r.Driver.ssi_conflicts;
+        Printf.sprintf "\"ssi_summarized\":%d," r.Driver.ssi_summarized;
+        Printf.sprintf "\"ssi_safe_snapshots\":%d," r.Driver.ssi_safe_snapshots;
+        Printf.sprintf "\"abort_reasons\":[%s]" abort_reasons;
+        "}";
+      ]
+  in
+  Printf.sprintf "{\"workload\":\"%s\",\"duration_s\":%s,\"modes\":[%s]}\n"
+    (json_escape workload) (json_num duration)
+    (String.concat "," (List.map mode_obj measurements))
+
 let render_deferrable r =
   Printf.sprintf
     "Deferrable transactions (§8.4): safe-snapshot latency over %d samples\n\

@@ -95,6 +95,16 @@ val render_normalized : title:string -> x_header:string -> measurement list -> s
 val render_fig6 : measurement list -> string
 val render_deferrable : deferrable_result -> string
 
+val render_latency : title:string -> measurement list -> string
+(** Rows = measurements; columns = throughput, nearest-rank p50/p95/p99
+    client latency (virtual seconds) and failure rate. *)
+
+val bench_json : workload:string -> duration:float -> measurement list -> string
+(** One JSON object — [{"workload";"duration_s";"modes":[...]}] — with
+    per-mode throughput, latency percentiles and SSI metric deltas.
+    Non-finite numbers render as [null].  Written by [bench/main.exe] to
+    [BENCH_<workload>.json]. *)
+
 val normalized_throughput : measurement list -> x_label:string -> Driver.mode -> float
 (** Helper for tests: throughput of [mode] at [x_label], normalized to the
     SI measurement at the same x. *)

@@ -1,5 +1,6 @@
 open Ssi_util
 open Ssi_storage
+module Obs = Ssi_obs.Obs
 
 type target =
   | Relation of string
@@ -75,15 +76,19 @@ type t = {
   sched : Waitq.scheduler;
   mutable waiting : int;
   mutable tracer : (string -> unit) option;
+  m_waits : Obs.counter;
+  m_deadlocks : Obs.counter;
 }
 
-let create sched =
+let create ?(obs = Obs.create ()) sched =
   {
     table = Target_table.create 512;
     owned = Hashtbl.create 64;
     sched;
     waiting = 0;
     tracer = None;
+    m_waits = Obs.counter obs "lockmgr.waits";
+    m_deadlocks = Obs.counter obs "lockmgr.deadlocks";
   }
 
 let set_tracer t f = t.tracer <- f
@@ -236,11 +241,13 @@ let acquire t ~owner target mode =
     grant_waiters t lock;
     trace t "lock x%d WAIT" owner;
     if not req.granted then begin
+      Obs.incr t.m_waits;
       (match find_cycle t owner with
       | Some cycle ->
           remove_request lock req;
           t.waiting <- t.waiting - 1;
           grant_waiters t lock;
+          Obs.incr t.m_deadlocks;
           raise (Deadlock { victim = owner; cycle })
       | None -> ());
       (try t.sched.suspend req.signal

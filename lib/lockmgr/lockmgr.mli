@@ -37,7 +37,11 @@ exception Deadlock of { victim : Heap.xid; cycle : Heap.xid list }
 
 type t
 
-val create : Ssi_util.Waitq.scheduler -> t
+val create : ?obs:Ssi_obs.Obs.t -> Ssi_util.Waitq.scheduler -> t
+(** [obs] is the metrics registry this lock manager reports into
+    ([lockmgr.waits] counts requests that had to block, and
+    [lockmgr.deadlocks] counts cycles detected); a private registry is
+    created when omitted. *)
 
 val set_tracer : t -> (string -> unit) option -> unit
 (** Install a debug tracer receiving one line per acquisition/wait. *)

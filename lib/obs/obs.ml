@@ -1,0 +1,246 @@
+open Ssi_util
+
+type counter = { c_name : string; mutable c : int }
+type gauge = { g_name : string; mutable g : float }
+type histogram = { h_name : string; h_stats : Stats.t }
+
+type metric = Counter of counter | Gauge of gauge | Hist of histogram
+
+type field = I of int | F of float | S of string | B of bool
+
+type event = {
+  seq : int;
+  ts : float;
+  name : string;
+  fields : (string * field) list;
+}
+
+type t = {
+  metrics : (string, metric) Hashtbl.t;
+  mutable clock : unit -> float;
+  ring : event option array;
+  mutable next_seq : int;
+  mutable trace_on : bool;
+}
+
+let create ?(trace_capacity = 4096) () =
+  if trace_capacity <= 0 then invalid_arg "Obs.create: trace_capacity must be positive";
+  {
+    metrics = Hashtbl.create 64;
+    clock = (fun () -> 0.);
+    ring = Array.make trace_capacity None;
+    next_seq = 0;
+    trace_on = true;
+  }
+
+let set_clock t f = t.clock <- f
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Hist _ -> "histogram"
+
+let wrong_kind name want got =
+  invalid_arg
+    (Printf.sprintf "Obs: metric %S already registered as a %s, not a %s" name
+       (kind_name got) want)
+
+let counter t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Counter c) -> c
+  | Some m -> wrong_kind name "counter" m
+  | None ->
+      let c = { c_name = name; c = 0 } in
+      Hashtbl.replace t.metrics name (Counter c);
+      c
+
+let incr ?(by = 1) c = c.c <- c.c + by
+let counter_value c = c.c
+
+let gauge t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Gauge g) -> g
+  | Some m -> wrong_kind name "gauge" m
+  | None ->
+      let g = { g_name = name; g = 0. } in
+      Hashtbl.replace t.metrics name (Gauge g);
+      g
+
+let set_gauge g x = g.g <- x
+let gauge_value g = g.g
+
+let histogram t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Hist h) -> h
+  | Some m -> wrong_kind name "histogram" m
+  | None ->
+      let h = { h_name = name; h_stats = Stats.create () } in
+      Hashtbl.replace t.metrics name (Hist h);
+      h
+
+let observe h x = Stats.add h.h_stats x
+let histogram_stats h = h.h_stats
+
+let get_counter t name =
+  match Hashtbl.find_opt t.metrics name with Some (Counter c) -> c.c | _ -> 0
+
+let get_gauge t name =
+  match Hashtbl.find_opt t.metrics name with Some (Gauge g) -> g.g | _ -> nan
+
+let find_histogram t name =
+  match Hashtbl.find_opt t.metrics name with Some (Hist h) -> Some h.h_stats | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A snap freezes each counter's value and each histogram's sample
+   count.  Stats.t appends observations in insertion order, so the
+   window's samples are exactly the suffix past the frozen count. *)
+type snap = (string, int) Hashtbl.t
+
+let snap t =
+  let s = Hashtbl.create (Hashtbl.length t.metrics) in
+  Hashtbl.iter
+    (fun name m ->
+      match m with
+      | Counter c -> Hashtbl.replace s name c.c
+      | Hist h -> Hashtbl.replace s name (Stats.count h.h_stats)
+      | Gauge _ -> ())
+    t.metrics;
+  s
+
+let snapped s name = Option.value ~default:0 (Hashtbl.find_opt s name)
+
+let delta_counter t s name = get_counter t name - snapped s name
+
+let delta_values t s name =
+  match find_histogram t name with
+  | None -> [||]
+  | Some st ->
+      let v = Stats.values st in
+      let base = Stdlib.min (snapped s name) (Array.length v) in
+      Array.sub v base (Array.length v - base)
+
+(* ------------------------------------------------------------------ *)
+(* Rendered views                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type hist_summary = {
+  h_count : int;
+  h_mean : float;
+  h_p50 : float;
+  h_p95 : float;
+  h_p99 : float;
+  h_max : float;
+}
+
+type value = Counter_v of int | Gauge_v of float | Histogram_v of hist_summary
+
+let summarize st =
+  {
+    h_count = Stats.count st;
+    h_mean = Stats.mean st;
+    h_p50 = Stats.percentile_nearest st 0.5;
+    h_p95 = Stats.percentile_nearest st 0.95;
+    h_p99 = Stats.percentile_nearest st 0.99;
+    h_max = Stats.max_value st;
+  }
+
+let dump t =
+  Hashtbl.fold
+    (fun name m acc ->
+      let v =
+        match m with
+        | Counter c -> Counter_v c.c
+        | Gauge g -> Gauge_v g.g
+        | Hist h -> Histogram_v (summarize h.h_stats)
+      in
+      (name, v) :: acc)
+    t.metrics []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let render t =
+  let fmt_f x = if Float.is_nan x then "-" else Printf.sprintf "%.4g" x in
+  let rows =
+    List.map
+      (fun (name, v) ->
+        match v with
+        | Counter_v n -> [ name; "counter"; string_of_int n ]
+        | Gauge_v x -> [ name; "gauge"; fmt_f x ]
+        | Histogram_v h ->
+            [
+              name;
+              "histogram";
+              Printf.sprintf "n=%d mean=%s p50=%s p95=%s p99=%s max=%s" h.h_count
+                (fmt_f h.h_mean) (fmt_f h.h_p50) (fmt_f h.h_p95) (fmt_f h.h_p99)
+                (fmt_f h.h_max);
+            ])
+      (dump t)
+  in
+  Tablefmt.render ~header:[ "metric"; "kind"; "value" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Trace events                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let set_tracing t on = t.trace_on <- on
+let tracing t = t.trace_on
+
+let trace t ?(fields = []) name =
+  if t.trace_on then begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    t.ring.(seq mod Array.length t.ring) <- Some { seq; ts = t.clock (); name; fields }
+  end
+
+let events t =
+  let cap = Array.length t.ring in
+  let n = Stdlib.min t.next_seq cap in
+  let first = t.next_seq - n in
+  List.init n (fun i ->
+      match t.ring.((first + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x = if Float.is_finite x then Printf.sprintf "%.9g" x else "null"
+
+let field_to_json = function
+  | I n -> string_of_int n
+  | F x -> json_float x
+  | S s -> "\"" ^ json_escape s ^ "\""
+  | B b -> string_of_bool b
+
+let event_to_json e =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"seq\":%d,\"ts\":%s,\"event\":\"%s\"" e.seq (json_float e.ts)
+       (json_escape e.name));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\"%s\":%s" (json_escape k) (field_to_json v)))
+    e.fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let events_to_jsonl t =
+  events t |> List.map event_to_json |> String.concat "\n"
+  |> fun s -> if s = "" then s else s ^ "\n"

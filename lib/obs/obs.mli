@@ -1,0 +1,126 @@
+(** Unified observability core.
+
+    One process-wide-capable (but deliberately instantiable) registry of
+    named metrics — counters, gauges and full-sample histograms — plus a
+    bounded ring buffer of structured trace events stamped with the
+    virtual clock.  Every layer of the system (predicate locks, SSI
+    manager, heavyweight lock manager, engine, replication, workload
+    driver) reports through one of these registries instead of keeping a
+    private stats record, so tools can snapshot, diff and render the
+    whole system's state uniformly.
+
+    Registries are per-engine rather than global: simulations and tests
+    construct many engines and must stay deterministic and isolated.
+
+    Metric naming scheme: dotted lowercase paths,
+    [<layer>.<metric>[.<detail>]] — e.g. [ssi.summarized],
+    [predlock.locks.tuple], [engine.latency.read], [lockmgr.waits],
+    [replica.apply_lag], [driver.txn_latency]. *)
+
+type t
+
+val create : ?trace_capacity:int -> unit -> t
+(** Fresh registry.  [trace_capacity] bounds the trace ring (default
+    4096 events); older events are overwritten. *)
+
+val set_clock : t -> (unit -> float) -> unit
+(** Install the time source used to stamp trace events.  The engine
+    points this at the simulation's virtual clock; the default returns
+    [0.]. *)
+
+(** {1 Metrics}
+
+    [counter]/[gauge]/[histogram] are get-or-create by name and return a
+    cheap handle meant to be hoisted out of hot paths.  Asking for an
+    existing name with a different kind raises [Invalid_argument]. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : t -> string -> counter
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : t -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : t -> string -> histogram
+val observe : histogram -> float -> unit
+val histogram_stats : histogram -> Ssi_util.Stats.t
+
+val get_counter : t -> string -> int
+(** Counter value by name; [0] when the counter was never created. *)
+
+val get_gauge : t -> string -> float
+(** Gauge value by name; [nan] when absent. *)
+
+val find_histogram : t -> string -> Ssi_util.Stats.t option
+
+(** {1 Snapshots and deltas}
+
+    A [snap] freezes every counter value and histogram sample count.
+    Deltas against a snap give per-window readings — the replacement for
+    the old pattern of hand-copying stats records at window edges. *)
+
+type snap
+
+val snap : t -> snap
+
+val delta_counter : t -> snap -> string -> int
+(** Counter increase since the snap ([0] if absent in both). *)
+
+val delta_values : t -> snap -> string -> float array
+(** Histogram observations recorded since the snap, in insertion
+    order; [\[||\]] if the histogram is absent. *)
+
+(** {1 Rendered views} *)
+
+type hist_summary = {
+  h_count : int;
+  h_mean : float;
+  h_p50 : float;
+  h_p95 : float;
+  h_p99 : float;
+  h_max : float;
+}
+
+type value = Counter_v of int | Gauge_v of float | Histogram_v of hist_summary
+
+val dump : t -> (string * value) list
+(** All metrics, sorted by name.  Histogram percentiles are
+    nearest-rank. *)
+
+val render : t -> string
+(** Pretty table of every metric, suitable for [pg_ssi stats]. *)
+
+(** {1 Trace events}
+
+    Structured events in a bounded ring, stamped with the registry
+    clock.  Tracing is on by default; the ring keeps the most recent
+    [trace_capacity] events. *)
+
+type field = I of int | F of float | S of string | B of bool
+
+type event = {
+  seq : int;  (** monotonically increasing emission index *)
+  ts : float;  (** registry clock at emission (virtual seconds) *)
+  name : string;  (** dotted event name, e.g. [txn.commit] *)
+  fields : (string * field) list;
+}
+
+val set_tracing : t -> bool -> unit
+val tracing : t -> bool
+
+val trace : t -> ?fields:(string * field) list -> string -> unit
+(** Emit one event (no-op while tracing is off). *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val event_to_json : event -> string
+(** One JSON object, fields flattened alongside [seq]/[ts]/[event]. *)
+
+val events_to_jsonl : t -> string
+(** All retained events as JSON Lines, one object per line. *)

@@ -1,6 +1,7 @@
 open Ssi_storage
 open Ssi_util
 module E = Ssi_engine.Engine
+module Obs = Ssi_obs.Obs
 
 module Key_table = Hashtbl.Make (struct
   type t = Value.t
@@ -20,6 +21,11 @@ type t = {
   mutable lag : int;
   pending : E.commit_record Queue.t;
   safe_arrived : Waitq.t;
+  (* Gauges in the primary's registry: how far behind the replica is
+     (records held back), and the frontiers it has reached. *)
+  g_apply_lag : Obs.gauge;
+  g_applied : Obs.gauge;
+  g_safe : Obs.gauge;
 }
 
 let table_store t name =
@@ -54,21 +60,25 @@ let apply_record t (record : E.commit_record) =
           v := (cseq, None) :: !v)
     record.E.wal_ops;
   t.applied <- max t.applied cseq;
+  Obs.set_gauge t.g_applied (float_of_int t.applied);
   if record.E.wal_safe_point then begin
     t.last_safe <- max t.last_safe cseq;
+    Obs.set_gauge t.g_safe (float_of_int t.last_safe);
     Waitq.wake_all t.safe_arrived
   end
 
 let drain t =
   while Queue.length t.pending > t.lag do
     apply_record t (Queue.pop t.pending)
-  done
+  done;
+  Obs.set_gauge t.g_apply_lag (float_of_int (Queue.length t.pending))
 
 let on_commit t record =
   Queue.add record t.pending;
   drain t
 
 let attach primary =
+  let obs = E.obs primary in
   let t =
     {
       tables = Hashtbl.create 8;
@@ -77,6 +87,9 @@ let attach primary =
       lag = 0;
       pending = Queue.create ();
       safe_arrived = Waitq.create ();
+      g_apply_lag = Obs.gauge obs "replica.apply_lag";
+      g_applied = Obs.gauge obs "replica.applied_cseq";
+      g_safe = Obs.gauge obs "replica.safe_cseq";
     }
   in
   E.set_on_commit primary (on_commit t);

@@ -23,7 +23,10 @@ type t
 
 val attach : Ssi_engine.Engine.t -> t
 (** Create a replica fed by the primary's WAL stream (installs the
-    primary's commit hook). *)
+    primary's commit hook).  Reports [replica.apply_lag] (records held
+    back by the configured lag), [replica.applied_cseq] and
+    [replica.safe_cseq] gauges into the primary's observability
+    registry. *)
 
 val applied_cseq : t -> int
 (** Commit sequence number of the newest applied transaction. *)

@@ -55,6 +55,23 @@ let percentile t p =
 
 let median t = percentile t 0.5
 
+(* Nearest-rank percentile: the ⌈p·n⌉-th smallest observation (1-indexed),
+   computed on a sorted copy.  Unlike {!percentile} it never interpolates,
+   so the result is always an observation that actually occurred — the
+   right definition for latency reporting (p95 = a real transaction). *)
+let percentile_nearest_of a p =
+  let n = Array.length a in
+  if n = 0 then nan
+  else begin
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    let p = Stdlib.min 1. (Stdlib.max 0. p) in
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+    sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+  end
+
+let percentile_nearest t p = percentile_nearest_of (values t) p
+
 type histogram = { h_lo : float; h_hi : float; counts : int array; mutable h_n : int }
 
 let histogram ~lo ~hi ~buckets =

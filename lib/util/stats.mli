@@ -30,6 +30,16 @@ val percentile : t -> float -> float
 
 val median : t -> float
 
+val percentile_nearest : t -> float -> float
+(** Nearest-rank percentile: the ⌈p·n⌉-th smallest observation on a sorted
+    copy, never interpolated; [nan] when empty.  Used for the driver
+    report's p50/p95/p99 latency columns, where the answer should be a
+    latency some transaction actually experienced. *)
+
+val percentile_nearest_of : float array -> float -> float
+(** {!percentile_nearest} over a plain observation array (e.g. a windowed
+    slice of a histogram's samples). *)
+
 val values : t -> float array
 (** A copy of all recorded observations, in insertion order. *)
 

@@ -2,6 +2,7 @@ open Ssi_util
 module E = Ssi_engine.Engine
 module Sim = Ssi_sim.Sim
 module Ssi = Ssi_core.Ssi
+module Obs = Ssi_obs.Obs
 
 type mode = SI | SSI | SSI_no_ro_opt | S2PL
 
@@ -93,6 +94,12 @@ type result = {
   giveups : int;
   injected_faults : int;
   attempts_per_commit : float;
+  latency_mean : float;  (** virtual seconds per committed transaction *)
+  latency_p50 : float;
+  latency_p95 : float;
+  latency_p99 : float;
+  abort_reasons : (string * int) list;
+      (** per-reason serialization-failure breakdown, descending count *)
 }
 
 let pick_spec rng specs total_weight =
@@ -104,24 +111,58 @@ let pick_spec rng specs total_weight =
   in
   go 0. specs
 
+(* Counter deltas over the measurement window come from one registry
+   snapshot taken when warmup ends — not from hand-copied totals, so
+   several drivers sharing an engine each see only their own window. *)
+type window = {
+  w_failures : int;
+  w_deadlocks : int;
+  w_retries : int;
+  w_giveups : int;
+  w_injected : int;
+  w_ssi_summarized : int;
+  w_ssi_safe : int;
+  w_ssi_conflicts : int;
+  w_latencies : float array;
+  w_abort_reasons : (string * int) list;
+}
+
+let close_window obs base =
+  let d name = Obs.delta_counter obs base name in
+  let abort_reasons =
+    List.filter_map
+      (fun (name, _) ->
+        let prefix = "ssi.victims." in
+        if String.length name > String.length prefix
+           && String.sub name 0 (String.length prefix) = prefix
+        then
+          let n = d name in
+          if n > 0 then
+            Some (String.sub name (String.length prefix) (String.length name - String.length prefix), n)
+          else None
+        else None)
+      (Obs.dump obs)
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  {
+    w_failures = d "engine.serialization_failures";
+    w_deadlocks = d "engine.deadlocks";
+    w_retries = d "engine.retries";
+    w_giveups = d "engine.giveups";
+    w_injected = d "engine.faults_injected";
+    w_ssi_summarized = d "ssi.summarized";
+    w_ssi_safe = d "ssi.safe_snapshots";
+    w_ssi_conflicts = d "ssi.conflicts";
+    w_latencies = Obs.delta_values obs base "driver.txn_latency";
+    w_abort_reasons = abort_reasons;
+  }
+
 let run ~setup ~specs bench =
   if specs = [] then invalid_arg "Driver.run: no transaction specs";
   let total_weight = List.fold_left (fun acc s -> acc +. s.weight) 0. specs in
   let committed = ref 0 in
-  let base_failures = ref 0 in
-  let base_deadlocks = ref 0 in
-  let base_retries = ref 0 in
-  let base_giveups = ref 0 in
-  let base_injected = ref 0 in
-  let end_failures = ref 0 in
-  let end_deadlocks = ref 0 in
-  let end_retries = ref 0 in
-  let end_giveups = ref 0 in
-  let end_injected = ref 0 in
   let cpu_busy = ref 0. in
-  let ssi_summarized = ref 0 in
-  let ssi_safe = ref 0 in
-  let ssi_conflicts = ref 0 in
+  let window = ref None in
   Sim.run (fun () ->
       let cpu = Sim.resource ~capacity:bench.cpu_cores in
       let disk = if bench.disks > 0 then Some (Sim.resource ~capacity:bench.disks) else None in
@@ -149,6 +190,8 @@ let run ~setup ~specs bench =
         }
       in
       let db = E.create ~scheduler:Sim.scheduler ~config () in
+      let obs = E.obs db in
+      let lat = Obs.histogram obs "driver.txn_latency" in
       (* The chaos hook attaches its replica/injector before the setup
          transactions run, so the replica sees the full WAL stream; the
          injector stays disarmed until its first burst event. *)
@@ -156,68 +199,73 @@ let run ~setup ~specs bench =
       setup db;
       charging := true;
       let iso = isolation_of_mode bench.mode in
-      let rng0 = Rng.make bench.seed in
       let t0 = Sim.now () in
       let measure_from = t0 +. bench.warmup in
       let t_end = measure_from +. bench.duration in
-      (* Snapshot the engine's failure counters at the start of the
-         measurement window. *)
+      (* Open the measurement window: one registry snapshot when warmup
+         ends, diffed against the registry when the window closes. *)
+      let base = ref None in
       Sim.spawn (fun () ->
           Sim.delay bench.warmup;
-          base_failures := (E.stats db).E.serialization_failures;
-          base_deadlocks := (E.stats db).E.deadlocks;
-          base_retries := (E.stats db).E.retries;
-          base_giveups := (E.stats db).E.giveups;
-          base_injected := (E.stats db).E.injected_faults);
+          base := Some (Obs.snap obs));
       for i = 1 to bench.workers do
         let rng = Rng.make (Hashtbl.hash (bench.seed, i)) in
         let backoff_rng = Rng.make (Hashtbl.hash (bench.seed, i, "backoff")) in
         Sim.spawn (fun () ->
             while Sim.now () < t_end do
               let spec = pick_spec rng specs total_weight in
-              (try
-                 E.retry_with ~isolation:iso ~read_only:spec.read_only ~policy:bench.retry
-                   ~rng:backoff_rng db (fun txn -> spec.body rng txn)
-               with E.Serialization_failure _ | E.Transient_fault _ -> ());
-              if Sim.now () >= measure_from && Sim.now () < t_end then incr committed
-            done;
-            ignore rng0)
+              let started = Sim.now () in
+              match
+                E.retry_with ~isolation:iso ~read_only:spec.read_only ~policy:bench.retry
+                  ~rng:backoff_rng db (fun txn -> spec.body rng txn)
+              with
+              | () ->
+                  let finished = Sim.now () in
+                  Obs.observe lat (finished -. started);
+                  if finished >= measure_from && finished < t_end then incr committed
+              | exception (E.Serialization_failure _ | E.Transient_fault _) -> ()
+            done)
       done;
       Sim.spawn (fun () ->
           Sim.delay (bench.warmup +. bench.duration);
-          end_failures := (E.stats db).E.serialization_failures;
-          end_deadlocks := (E.stats db).E.deadlocks;
-          end_retries := (E.stats db).E.retries;
-          end_giveups := (E.stats db).E.giveups;
-          end_injected := (E.stats db).E.injected_faults;
-          let s = E.ssi_stats db in
-          ssi_summarized := s.Ssi.summarized;
-          ssi_safe := s.Ssi.safe_snapshots;
-          ssi_conflicts := s.Ssi.conflicts_flagged;
+          let base = match !base with Some s -> s | None -> Obs.snap obs in
+          window := Some (close_window obs base);
           cpu_busy := Sim.busy_time cpu))
   |> fun final_time ->
-  let failures = !end_failures - !base_failures in
-  let deadlocks = !end_deadlocks - !base_deadlocks in
-  let retries = !end_retries - !base_retries in
-  let giveups = !end_giveups - !base_giveups in
-  let injected_faults = !end_injected - !base_injected in
+  let w =
+    match !window with
+    | Some w -> w
+    | None -> invalid_arg "Driver.run: simulation ended before the measurement window closed"
+  in
+  let failures = w.w_failures in
   let denom = float_of_int (!committed + failures) in
+  let pct p = Stats.percentile_nearest_of w.w_latencies p in
   {
     committed = !committed;
     failures;
-    deadlocks;
+    deadlocks = w.w_deadlocks;
     sim_seconds = final_time;
     throughput =
       (if bench.duration > 0. then float_of_int !committed /. bench.duration else 0.);
     failure_rate = (if denom > 0. then float_of_int failures /. denom else 0.);
     cpu_busy =
       !cpu_busy /. (float_of_int bench.cpu_cores *. (bench.warmup +. bench.duration));
-    ssi_summarized = !ssi_summarized;
-    ssi_safe_snapshots = !ssi_safe;
-    ssi_conflicts = !ssi_conflicts;
-    retries;
-    giveups;
-    injected_faults;
+    ssi_summarized = w.w_ssi_summarized;
+    ssi_safe_snapshots = w.w_ssi_safe;
+    ssi_conflicts = w.w_ssi_conflicts;
+    retries = w.w_retries;
+    giveups = w.w_giveups;
+    injected_faults = w.w_injected;
     attempts_per_commit =
-      (if !committed > 0 then 1. +. (float_of_int retries /. float_of_int !committed) else 0.);
+      (if !committed > 0 then
+         1. +. (float_of_int w.w_retries /. float_of_int !committed)
+       else 0.);
+    latency_mean =
+      (let n = Array.length w.w_latencies in
+       if n = 0 then nan
+       else Array.fold_left ( +. ) 0. w.w_latencies /. float_of_int n);
+    latency_p50 = pct 0.5;
+    latency_p95 = pct 0.95;
+    latency_p99 = pct 0.99;
+    abort_reasons = w.w_abort_reasons;
   }

@@ -64,6 +64,15 @@ type result = {
   giveups : int;  (** retry loops exhausted (attempts or deadline) *)
   injected_faults : int;  (** transient faults injected into engine ops *)
   attempts_per_commit : float;  (** 1 + retries/committed; 0 if nothing committed *)
+  latency_mean : float;
+      (** mean client-observed latency (virtual seconds, retries included)
+          of transactions committing in the window; [nan] when none *)
+  latency_p50 : float;  (** nearest-rank percentiles of the same samples *)
+  latency_p95 : float;
+  latency_p99 : float;
+  abort_reasons : (string * int) list;
+      (** serialization-failure breakdown by SSI victim reason,
+          descending count, reasons slugified ([ssi.victims.*]) *)
 }
 
 val run : setup:(E.t -> unit) -> specs:spec list -> bench -> result

@@ -226,9 +226,9 @@ let run_plan cfg =
                  (E.with_txn ~isolation:E.Repeatable_read db (fun t -> E.seq_scan t ~table ()));
              let rt = R.begin_read replica `Latest_applied in
              replica_rows := rows_of_scan (R.scan rt ~table ());
-             summarized := (E.ssi_stats db).Ssi_core.Ssi.summarized;
-             retries := (E.stats db).E.retries;
-             giveups := (E.stats db).E.giveups)));
+             summarized := Ssi_obs.Obs.get_counter (E.obs db) "ssi.summarized";
+             retries := Ssi_obs.Obs.get_counter (E.obs db) "engine.retries";
+             giveups := Ssi_obs.Obs.get_counter (E.obs db) "engine.giveups")));
   {
     history = { Oracle.committed = List.rev !history };
     chaos_log = List.rev !chaos_log;

@@ -323,12 +323,18 @@ let test_vacuum_prunes_versions () =
   E.with_txn db (fun t ->
       Alcotest.(check (option string)) "latest survives" (Some "v10") (get t 1))
 
-let test_stats_and_reset () =
+let test_stats_counters () =
   let db = fresh () in
+  let obs = E.obs db in
   E.with_txn db (fun t -> put t 1 "x");
-  Alcotest.(check int) "commits" 1 (E.stats db).E.commits;
-  E.reset_stats db;
-  Alcotest.(check int) "reset" 0 (E.stats db).E.commits
+  Alcotest.(check int) "commits" 1 (Ssi_obs.Obs.get_counter obs "engine.commits");
+  Alcotest.(check int) "begins" 1 (Ssi_obs.Obs.get_counter obs "engine.begins");
+  (* Windowed readings replace the old reset: a snapshot plus deltas. *)
+  let base = Ssi_obs.Obs.snap obs in
+  Alcotest.(check int) "delta zero" 0 (Ssi_obs.Obs.delta_counter obs base "engine.commits");
+  E.with_txn db (fun t -> put t 2 "y");
+  Alcotest.(check int) "delta one" 1 (Ssi_obs.Obs.delta_counter obs base "engine.commits");
+  Alcotest.(check int) "total two" 2 (Ssi_obs.Obs.get_counter obs "engine.commits")
 
 let test_retry_gives_up () =
   let db = fresh () in
@@ -400,7 +406,7 @@ let () =
       ( "maintenance",
         [
           Alcotest.test_case "vacuum" `Quick test_vacuum_prunes_versions;
-          Alcotest.test_case "stats" `Quick test_stats_and_reset;
+          Alcotest.test_case "stats" `Quick test_stats_counters;
           Alcotest.test_case "retry gives up" `Quick test_retry_gives_up;
           Alcotest.test_case "read-only enforced" `Quick test_read_only_rejects_writes;
           Alcotest.test_case "finished rejected" `Quick test_finished_txn_rejected;

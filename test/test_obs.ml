@@ -1,0 +1,268 @@
+(* The observability core: metric registry semantics (counters, gauges,
+   histograms, kind safety), window snapshots/deltas, the bounded trace
+   ring and its JSONL rendering, nearest-rank percentiles, and the
+   end-to-end summarization counter — shrinking the committed-sxact
+   budget mid-run must drive [ssi.summarized] up without costing
+   serializability. *)
+
+open Ssi_storage
+open Test_oracle
+module Obs = Ssi_obs.Obs
+module Stats = Ssi_util.Stats
+module E = Ssi_engine.Engine
+module Ssi = Ssi_core.Ssi
+module Sim = Ssi_sim.Sim
+module Rng = Ssi_util.Rng
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ---- Registry ------------------------------------------------------------ *)
+
+let test_counters () =
+  let obs = Obs.create () in
+  Alcotest.(check int) "absent counter reads 0" 0 (Obs.get_counter obs "x.absent");
+  let c = Obs.counter obs "x.c" in
+  Obs.incr c;
+  Obs.incr ~by:4 c;
+  Alcotest.(check int) "handle value" 5 (Obs.counter_value c);
+  (* get-or-create: a second handle for the same name shares the cell. *)
+  Obs.incr (Obs.counter obs "x.c");
+  Alcotest.(check int) "by-name lookup" 6 (Obs.get_counter obs "x.c")
+
+let test_gauges () =
+  let obs = Obs.create () in
+  Alcotest.(check bool) "absent gauge is nan" true (Float.is_nan (Obs.get_gauge obs "g"));
+  let g = Obs.gauge obs "g" in
+  Obs.set_gauge g 2.5;
+  Alcotest.(check (float 0.)) "set/read" 2.5 (Obs.gauge_value g);
+  Obs.set_gauge g 7.0;
+  Alcotest.(check (float 0.)) "last write wins" 7.0 (Obs.get_gauge obs "g")
+
+let test_histograms () =
+  let obs = Obs.create () in
+  Alcotest.(check bool) "absent histogram" true (Obs.find_histogram obs "h" = None);
+  let h = Obs.histogram obs "h" in
+  List.iter (Obs.observe h) [ 3.0; 1.0; 2.0 ];
+  let st = Obs.histogram_stats h in
+  Alcotest.(check int) "count" 3 (Stats.count st);
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean st)
+
+let test_kind_mismatch () =
+  let obs = Obs.create () in
+  ignore (Obs.counter obs "m");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Obs: metric \"m\" already registered as a counter, not a gauge")
+    (fun () -> ignore (Obs.gauge obs "m"))
+
+let test_dump_sorted () =
+  let obs = Obs.create () in
+  Obs.incr (Obs.counter obs "b.count");
+  Obs.set_gauge (Obs.gauge obs "a.gauge") 1.0;
+  Obs.observe (Obs.histogram obs "c.hist") 0.5;
+  let names = List.map fst (Obs.dump obs) in
+  Alcotest.(check (list string)) "name-sorted" [ "a.gauge"; "b.count"; "c.hist" ] names;
+  (* The rendered table mentions every metric. *)
+  let table = Obs.render obs in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " rendered") true (contains ~needle:n table))
+    names
+
+(* ---- Snapshots and deltas ------------------------------------------------- *)
+
+let test_snap_deltas () =
+  let obs = Obs.create () in
+  let c = Obs.counter obs "c" and h = Obs.histogram obs "h" in
+  Obs.incr ~by:10 c;
+  Obs.observe h 1.0;
+  let base = Obs.snap obs in
+  Alcotest.(check int) "no movement yet" 0 (Obs.delta_counter obs base "c");
+  Obs.incr ~by:3 c;
+  Obs.observe h 2.0;
+  Obs.observe h 3.0;
+  Alcotest.(check int) "counter delta" 3 (Obs.delta_counter obs base "c");
+  Alcotest.(check (array (float 0.))) "histogram tail" [| 2.0; 3.0 |]
+    (Obs.delta_values obs base "h");
+  (* Metrics born after the snap still diff cleanly. *)
+  Obs.incr (Obs.counter obs "late");
+  Obs.observe (Obs.histogram obs "late.h") 9.0;
+  Alcotest.(check int) "late counter" 1 (Obs.delta_counter obs base "late");
+  Alcotest.(check (array (float 0.))) "late histogram" [| 9.0 |]
+    (Obs.delta_values obs base "late.h");
+  Alcotest.(check int) "absent everywhere" 0 (Obs.delta_counter obs base "never")
+
+(* ---- Trace ring ----------------------------------------------------------- *)
+
+let test_trace_ring_bounds () =
+  let obs = Obs.create ~trace_capacity:4 () in
+  for i = 1 to 10 do
+    Obs.trace obs ~fields:[ ("i", Obs.I i) ] "tick"
+  done;
+  let evs = Obs.events obs in
+  Alcotest.(check int) "ring keeps the newest capacity events" 4 (List.length evs);
+  Alcotest.(check (list int)) "oldest first" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.Obs.seq) evs);
+  let is = List.map (fun e -> List.assoc "i" e.Obs.fields) evs in
+  Alcotest.(check bool) "payload survives" true (is = [ Obs.I 7; I 8; I 9; I 10 ])
+
+let test_trace_clock_and_toggle () =
+  let obs = Obs.create () in
+  let now = ref 1.5 in
+  Obs.set_clock obs (fun () -> !now);
+  Obs.trace obs "a";
+  now := 2.5;
+  Obs.set_tracing obs false;
+  Obs.trace obs "dropped";
+  Obs.set_tracing obs true;
+  Obs.trace obs "b";
+  match Obs.events obs with
+  | [ a; b ] ->
+      Alcotest.(check string) "first" "a" a.Obs.name;
+      Alcotest.(check (float 0.)) "stamped" 1.5 a.Obs.ts;
+      Alcotest.(check string) "second (toggle dropped one)" "b" b.Obs.name;
+      Alcotest.(check (float 0.)) "restamped" 2.5 b.Obs.ts
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_trace_jsonl () =
+  let obs = Obs.create () in
+  Obs.trace obs
+    ~fields:[ ("xid", Obs.I 7); ("why", Obs.S "pivot \"x\""); ("ro", Obs.B true) ]
+    "ssi.fail";
+  Obs.trace obs ~fields:[ ("lag", Obs.F 0.25) ] "replica.lag";
+  let jsonl = Obs.events_to_jsonl obs in
+  let lines = String.split_on_char '\n' (String.trim jsonl) in
+  Alcotest.(check int) "one object per event" 2 (List.length lines);
+  let l1 = List.nth lines 0 in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains ~needle l1))
+    [ {|"event":"ssi.fail"|}; {|"xid":7|}; {|"why":"pivot \"x\""|}; {|"ro":true|}; {|"seq":0|} ];
+  Alcotest.(check bool) "float field" true
+    (contains ~needle:{|"lag":0.25|} (List.nth lines 1))
+
+(* ---- Nearest-rank percentiles --------------------------------------------- *)
+
+let test_percentile_nearest () =
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Stats.percentile_nearest_of [||] 0.5));
+  let a = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  (* Nearest-rank over 1..100: p-th percentile is exactly ceil(p*100). *)
+  List.iter
+    (fun (p, want) ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "p%.0f of 1..100" (100. *. p))
+        want
+        (Stats.percentile_nearest_of a p))
+    [ (0.50, 50.); (0.95, 95.); (0.99, 99.); (1.0, 100.); (0.0, 1.) ];
+  Alcotest.(check (float 0.)) "singleton" 42. (Stats.percentile_nearest_of [| 42. |] 0.99);
+  (* Always a member of the sample, never interpolated. *)
+  Alcotest.(check (float 0.)) "no interpolation" 10.
+    (Stats.percentile_nearest_of [| 1.; 10. |] 0.75);
+  let st = Stats.create () in
+  List.iter (Stats.add st) [ 5.; 1.; 9. ];
+  Alcotest.(check (float 0.)) "Stats.t variant" 9. (Stats.percentile_nearest st 0.95)
+
+(* ---- Summarization under a mid-run budget shrink (§6.2) ------------------- *)
+
+(* A concurrent workload on the virtual clock; halfway through, the
+   committed-sxact budget is cut to zero, so every later commit must pass
+   through the summarizer.  The [ssi.summarized] counter has to climb
+   after the shrink, and the surviving history must still be
+   serializable. *)
+
+let table = "kv"
+let keys = 10
+let vi i = Value.Int i
+
+let shrink_txn rng t =
+  let reads = ref [] and writes = ref [] in
+  let me = E.xid t in
+  for _ = 1 to 4 do
+    let k = Rng.int rng keys in
+    if Rng.float rng 1.0 < 0.5 then begin
+      if E.update t ~table ~key:(vi k) ~f:(fun row -> [| row.(0); vi me |]) then
+        writes := k :: !writes
+    end
+    else
+      match E.read t ~table ~key:(vi k) with
+      | Some row -> reads := (k, Value.as_int row.(1)) :: !reads
+      | None -> ()
+  done;
+  (me, List.rev !reads, List.rev !writes)
+
+let test_shrink_mid_run () =
+  let costs =
+    { E.zero_costs with E.cpu_per_op = 80e-6; cpu_per_tuple = 4e-6; io_commit = 40e-6 }
+  in
+  let db = E.create ~scheduler:Sim.scheduler ~config:{ E.default_config with E.costs } () in
+  let cseq_of : (int, int) Hashtbl.t = Hashtbl.create 128 in
+  E.set_on_commit db (fun r -> Hashtbl.replace cseq_of r.E.wal_xid r.E.wal_cseq);
+  let history = ref [] in
+  let at_shrink = ref None in
+  let workers = 4 and txns_per_worker = 12 in
+  ignore
+    (Sim.run (fun () ->
+         E.create_table db ~name:table ~cols:[ "k"; "writer" ] ~key:"k";
+         E.with_txn db (fun t ->
+             Alcotest.(check int) "seed is xid 1" 1 (E.xid t);
+             for k = 0 to keys - 1 do
+               E.insert t ~table [| vi k; vi (E.xid t) |]
+             done);
+         for w = 1 to workers do
+           let rng = Rng.make (Hashtbl.hash ("shrink", w)) in
+           let backoff_rng = Rng.make (Hashtbl.hash ("shrink-backoff", w)) in
+           Sim.spawn (fun () ->
+               for _ = 1 to txns_per_worker do
+                 (try
+                    let xid, reads, writes =
+                      E.retry_with ~rng:backoff_rng db (fun t -> shrink_txn rng t)
+                    in
+                    history :=
+                      { Oracle.xid; reads; writes; order = Hashtbl.find cseq_of xid }
+                      :: !history
+                  with E.Serialization_failure _ -> ());
+                 Sim.delay (Rng.float rng 3e-4)
+               done)
+         done;
+         Sim.spawn (fun () ->
+             (* Mid-run: the workload above lasts a few virtual ms. *)
+             Sim.delay 2e-3;
+             at_shrink := Some (Obs.snap (E.obs db));
+             Ssi.set_max_committed_sxacts (E.ssi db) 0)));
+  let base = match !at_shrink with Some s -> s | None -> Alcotest.fail "shrink never ran" in
+  let after_shrink = Obs.delta_counter (E.obs db) base "ssi.summarized" in
+  Alcotest.(check bool)
+    (Printf.sprintf "summarized climbs after the shrink (%d)" after_shrink)
+    true (after_shrink > 0);
+  Alcotest.(check bool) "history nonempty" true (!history <> []);
+  let h = { Oracle.committed = List.rev !history } in
+  match Oracle.check_serializable h with
+  | Ok () -> ()
+  | Error cycle ->
+      Alcotest.failf "non-serializable under summarization\n%s" (Oracle.pp_cycle h cycle)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "gauges" `Quick test_gauges;
+          Alcotest.test_case "histograms" `Quick test_histograms;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "dump and render" `Quick test_dump_sorted;
+        ] );
+      ("windows", [ Alcotest.test_case "snap deltas" `Quick test_snap_deltas ]);
+      ( "trace",
+        [
+          Alcotest.test_case "ring bounds" `Quick test_trace_ring_bounds;
+          Alcotest.test_case "clock and toggle" `Quick test_trace_clock_and_toggle;
+          Alcotest.test_case "jsonl" `Quick test_trace_jsonl;
+        ] );
+      ( "percentiles",
+        [ Alcotest.test_case "nearest rank" `Quick test_percentile_nearest ] );
+      ( "summarization (§6.2)",
+        [ Alcotest.test_case "mid-run budget shrink" `Quick test_shrink_mid_run ] );
+    ]

@@ -274,7 +274,8 @@ let test_summarization_bounds_memory () =
     commit env (snd t)
   done;
   Alcotest.(check bool) "bounded" true (Ssi.committed_retained env.mgr <= 2);
-  Alcotest.(check bool) "summarized counted" true ((Ssi.stats env.mgr).Ssi.summarized > 0);
+  Alcotest.(check bool) "summarized counted" true
+    (Ssi_obs.Obs.get_counter (Ssi.obs env.mgr) "ssi.summarized" > 0);
   commit env (snd holdopen)
 
 let test_summarized_conflict_in_detected () =
