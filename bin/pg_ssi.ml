@@ -189,12 +189,26 @@ let run_trace name mode_str workers duration seed =
 
 module F = Ssi_fault.Fault
 module Replica = Ssi_replication.Replica
+module Stream = Ssi_replication.Stream
+module Net = Ssi_net.Net
 module Sim = Ssi_sim.Sim
 
-let run_chaos seed duration workers failover =
+let row_count eng =
+  E.with_txn eng (fun txn ->
+      List.fold_left
+        (fun acc t -> acc + List.length (E.seq_scan txn ~table:t ()))
+        0 (E.table_names eng))
+
+let print_promotion (p : Replica.promotion) =
+  Format.printf
+    "  failover           promoted at cseq %d: %d rows (safe snapshot), %d commits discarded@."
+    p.Replica.promote_cseq (row_count p.Replica.engine) p.Replica.discarded_commits
+
+let run_chaos seed duration workers failover replicas quorum partitions net_chaos =
   let rows = 100 in
-  let plan = F.gen_plan ~seed ~horizon:duration ~failover () in
-  Format.printf "chaos seed=%d horizon=%.1fs workers=%d@." seed duration workers;
+  let plan = F.gen_plan ~seed ~horizon:duration ~failover ~partitions ~net_chaos () in
+  Format.printf "chaos seed=%d horizon=%.1fs workers=%d replicas=%d@." seed duration workers
+    replicas;
   Format.printf "fault plan:@.";
   List.iter (fun l -> Format.printf "  %s@." l) (F.describe plan);
   let log_lines = ref [] in
@@ -202,17 +216,69 @@ let run_chaos seed duration workers failover =
   let injector = F.injector ~seed in
   let replica = ref None in
   let promoted = ref None in
+  let net = ref None in
+  let old_primary = ref None in
+  let streamed = ref [] in
+  let failed_over = ref None in
   let chaos db =
-    let r = Replica.attach db in
-    replica := Some r;
     E.set_fault_injector db (Some (fun ~op -> F.hook injector ~op));
-    let target = { F.engine = db; injector = Some injector; replica = Some r } in
-    let observer phase (ev : F.event) =
-      match (phase, ev.F.kind) with
-      | `After, F.Failover -> promoted := Some (Replica.promote r ~primary:db `Latest_safe)
-      | _ -> ()
-    in
-    Sim.spawn (fun () -> F.execute ~observer target plan ~log)
+    if replicas = 0 then begin
+      (* Direct mode: the replica hangs off the primary's in-process commit
+         hook; network events in the plan are logged as skipped. *)
+      let r = Replica.attach db in
+      replica := Some r;
+      let target = { F.engine = db; injector = Some injector; replica = Some r; net = None } in
+      let observer phase (ev : F.event) =
+        match (phase, ev.F.kind) with
+        | `After, F.Failover -> promoted := Some (Replica.promote r ~primary:db `Latest_safe)
+        | _ -> ()
+      in
+      Sim.spawn (fun () -> F.execute ~observer target plan ~log)
+    end
+    else begin
+      (* Streaming mode: WAL records cross a seeded adversarial network. *)
+      let n = Net.create ~obs:(E.obs db) ~seed () in
+      net := Some n;
+      let quorum = Option.map (fun k -> { Stream.k; deadline = 0.002 }) quorum in
+      let p = Stream.make_primary n ~node:"p" ~epoch:1 ?quorum db in
+      old_primary := Some p;
+      let subs =
+        List.init replicas (fun i ->
+            let name = Printf.sprintf "r%d" (i + 1) in
+            let core = Replica.create ~obs:(E.obs db) ~name () in
+            Stream.subscribe n ~node:name ~primary_node:"p" ~epoch:1 core)
+      in
+      streamed := subs;
+      let target = { F.engine = db; injector = Some injector; replica = None; net = Some n } in
+      let observer phase (ev : F.event) =
+        match (phase, ev.F.kind) with
+        | `After, F.Failover -> (
+            match subs with
+            | [] -> ()
+            | first :: rest ->
+                let fo = Stream.promote first ~schema_from:db ?quorum `Latest_safe in
+                failed_over := Some fo;
+                List.iter
+                  (fun s ->
+                    Stream.resubscribe s ~primary_node:(Stream.sub_node first)
+                      ~epoch:(Stream.epoch fo.Stream.new_primary))
+                  rest)
+        | _ -> ()
+      in
+      Sim.spawn (fun () -> F.execute ~observer target plan ~log);
+      (* After the workload horizon: heal every partition and drive the
+         catch-up, so the run ends with converged replicas. *)
+      Sim.spawn (fun () ->
+          Sim.delay (duration +. 0.05);
+          Net.heal_all n;
+          let acting =
+            match !failed_over with Some fo -> fo.Stream.new_primary | None -> p
+          in
+          Stream.retransmit_unacked acting;
+          List.iter
+            (fun s -> if Stream.sub_node s <> Stream.primary_node acting then Stream.sync s)
+            subs)
+    end
   in
   let bench =
     {
@@ -239,16 +305,38 @@ let run_chaos seed duration workers failover =
       Format.printf "  replica            applied cseq %d, safe cseq %d@."
         (Replica.applied_cseq rep) (Replica.last_safe_cseq rep)
   | None -> ());
-  (match !promoted with
-  | Some eng ->
-      let n =
-        E.with_txn eng (fun txn ->
-            List.fold_left
-              (fun acc t -> acc + List.length (E.seq_scan txn ~table:t ()))
-              0 (E.table_names eng))
-      in
-      Format.printf "  failover           promoted replica holds %d rows (safe snapshot)@." n
-  | None -> ());
+  (match !promoted with Some p -> print_promotion p | None -> ());
+  (match (!net, !old_primary) with
+  | Some n, Some p ->
+      let obs = E.obs (Stream.engine p) in
+      Format.printf "network:@.";
+      List.iter (fun (k, v) -> Format.printf "  %-18s %d@." k v) (Net.stats n);
+      let acting = match !failed_over with Some fo -> fo.Stream.new_primary | None -> p in
+      (* Captured before any report query commits on the acting primary. *)
+      let acting_last = Stream.last_cseq acting in
+      Format.printf "streaming:@.";
+      Format.printf "  primary            %s (epoch %d), last cseq %d%s@."
+        (Stream.primary_node acting) (Stream.epoch acting) acting_last
+        (if Stream.is_deposed p && acting != p then "; old primary fenced" else "");
+      (match !failed_over with
+      | Some fo ->
+          print_promotion fo.Stream.promotion;
+          Format.printf "  fenced primary     deposed=%b@." (Stream.is_deposed p)
+      | None -> ());
+      let counters = [ "stream.wal_sent"; "stream.retransmits"; "stream.quorum_waits";
+                       "stream.quorum_timeouts" ] in
+      List.iter
+        (fun name -> Format.printf "  %-18s %d@." name (Ssi_obs.Obs.get_counter obs name))
+        counters;
+      List.iter
+        (fun s ->
+          let core = Stream.core s in
+          if Stream.sub_node s <> Stream.primary_node acting then
+            Format.printf "  %-18s applied cseq %d, safe cseq %d%s@." (Replica.name core)
+              (Replica.applied_cseq core) (Replica.last_safe_cseq core)
+              (if Replica.applied_cseq core >= acting_last then " (converged)" else " (behind)"))
+        !streamed
+  | _ -> ());
   0
 
 (* ---- sql REPL ------------------------------------------------------------ *)
@@ -351,12 +439,39 @@ let chaos_cmd =
   let failover_arg =
     Arg.(value & flag & info [ "failover" ] ~doc:"Promote the replica near the end of the run")
   in
+  let replicas_arg =
+    Arg.(value & opt int 0
+         & info [ "replicas" ]
+             ~doc:
+               "Stream WAL to $(docv) replicas over a simulated lossy network instead of the \
+                in-process commit hook (0 = direct mode)"
+             ~docv:"N")
+  in
+  let quorum_arg =
+    Arg.(value & opt (some int) None
+         & info [ "quorum" ]
+             ~doc:
+               "Quorum-synchronous commit: hold each commit ack for $(docv) replica acks \
+                (deadline 2ms of virtual time, then degrade to async)"
+             ~docv:"K")
+  in
+  let partitions_arg =
+    Arg.(value & opt int 0
+         & info [ "partitions" ] ~doc:"Seeded network partitions to schedule" ~docv:"N")
+  in
+  let net_chaos_arg =
+    Arg.(value & opt int 0
+         & info [ "net-chaos" ]
+             ~doc:"Seeded drop/duplicate/reorder windows to schedule" ~docv:"N")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run a workload under a seeded fault plan (crashes, I/O faults, memory pressure, \
-          replica lag) and report resilience counters")
-    Term.(const run_chaos $ seed_arg $ duration_arg $ workers_arg $ failover_arg)
+          replica lag, network partitions and chaos) and report resilience counters")
+    Term.(
+      const run_chaos $ seed_arg $ duration_arg $ workers_arg $ failover_arg $ replicas_arg
+      $ quorum_arg $ partitions_arg $ net_chaos_arg)
 
 let sql_cmd =
   let file_arg =

@@ -123,6 +123,8 @@ type t = {
   obs : Obs.t;
   metrics : metrics;
   mutable on_commit : (commit_record -> unit) list;  (** registration order *)
+  mutable commit_gate : (unit -> unit) option;
+  mutable commit_wait : (commit_record -> unit) option;
   mutable fault_injector : (op:string -> unit) option;
   mutable tracer : (string -> unit) option;
 }
@@ -189,11 +191,15 @@ let create ?(scheduler = Waitq.direct) ?(config = default_config) ?obs () =
         h_commit = Obs.histogram obs "engine.latency.commit";
       };
     on_commit = [];
+    commit_gate = None;
+    commit_wait = None;
     fault_injector = None;
     tracer = None;
   }
 
 let set_on_commit t f = t.on_commit <- t.on_commit @ [ f ]
+let set_commit_gate t f = t.commit_gate <- f
+let set_commit_wait t f = t.commit_wait <- f
 let set_fault_injector t f = t.fault_injector <- f
 
 let set_tracer t f =
@@ -327,6 +333,7 @@ let recluster db ~table =
 let xid txn = txn.txn_xid
 let isolation_of txn = txn.iso
 let is_finished txn = txn.finished
+let snapshot_cseq txn = txn.snapshot.Snapshot.horizon
 
 let snapshot_is_safe txn =
   match txn.sxact with Some node -> Ssi.is_safe node | None -> false
@@ -1038,7 +1045,7 @@ let serializable_rw_active db =
 
 let emit_wal db txn cseq =
   match db.on_commit with
-  | [] -> ()
+  | [] -> None
   | hooks ->
       let record =
         {
@@ -1048,7 +1055,8 @@ let emit_wal db txn cseq =
           wal_safe_point = not (serializable_rw_active db);
         }
       in
-      List.iter (fun hook -> hook record) hooks
+      List.iter (fun hook -> hook record) hooks;
+      Some record
 
 let abort txn =
   if not txn.finished then begin
@@ -1075,6 +1083,10 @@ let commit txn =
   (try
      ensure_running txn;
      fault_point db ~op:"commit";
+     (* The commit gate runs before the commit point: a fenced (deposed)
+        primary refuses new commits here, so clients see a retryable
+        failure rather than a write the cluster will never accept. *)
+     (match db.commit_gate with Some gate -> gate () | None -> ());
      match txn.sxact with Some node -> Ssi.precommit db.ssi_mgr node | None -> ()
    with (Serialization_failure _ | Transient_fault _) as e ->
      abort txn;
@@ -1085,8 +1097,14 @@ let commit txn =
   finish_txn txn;
   Obs.incr db.metrics.m_commits;
   Obs.trace db.obs "txn.commit" ~fields:[ ("xid", Obs.I txn.txn_xid); ("cseq", Obs.I cseq) ];
-  emit_wal db txn cseq;
-  charge_io db db.cfg.costs.io_commit
+  let record = emit_wal db txn cseq in
+  charge_io db db.cfg.costs.io_commit;
+  (* Quorum-synchronous replication: the commit is locally durable and
+     visible; the acknowledgment to the client may still be held until
+     enough replicas confirm (or the hold deadline passes). *)
+  match (db.commit_wait, record) with
+  | Some wait, Some r -> wait r
+  | _ -> ()
 
 (* Commit latency includes the pre-commit SSI check, the commit-record
    I/O charge, and any WAL-hook work. *)
@@ -1121,8 +1139,9 @@ let commit_prepared db ~gid =
   Obs.incr db.metrics.m_commits;
   Obs.trace db.obs "txn.commit"
     ~fields:[ ("xid", Obs.I txn.txn_xid); ("cseq", Obs.I cseq); ("gid", Obs.S gid) ];
-  emit_wal db txn cseq;
-  charge_io db db.cfg.costs.io_commit
+  let record = emit_wal db txn cseq in
+  charge_io db db.cfg.costs.io_commit;
+  match (db.commit_wait, record) with Some wait, Some r -> wait r | _ -> ()
 
 let rollback_prepared db ~gid =
   let txn = prepared_txn db gid in

@@ -111,6 +111,20 @@ val set_on_commit : t -> (commit_record -> unit) -> unit
     commit; replication registers one, observers (chaos harness, tests) may
     register more. *)
 
+val set_commit_gate : t -> (unit -> unit) option -> unit
+(** Install (or clear) a pre-commit gate, run at the commit point of every
+    transaction (after the fault point, before the serialization check).
+    Raising {!Transient_fault} there rejects the commit and rolls the
+    transaction back — how a fenced (deposed) primary refuses writes its
+    cluster would discard. *)
+
+val set_commit_wait : t -> (commit_record -> unit) option -> unit
+(** Install (or clear) a post-commit acknowledgment hold.  It runs after
+    the commit is locally durable and its WAL record emitted, and may
+    suspend the committing session (quorum-synchronous replication waits
+    here for replica acks).  Raising is not allowed: the commit has
+    already happened.  Only invoked when a WAL hook is installed. *)
+
 val set_fault_injector : t -> (op:string -> unit) option -> unit
 (** Install (or clear) a fault injector.  The injector is invoked at the
     fault point of every data operation, [commit] and [prepare] with the
@@ -158,6 +172,12 @@ val abort : txn -> unit
 val xid : txn -> Heap.xid
 val isolation_of : txn -> isolation
 val is_finished : txn -> bool
+
+val snapshot_cseq : txn -> int
+(** Commit-sequence horizon of the transaction's snapshot: every commit
+    with cseq <= this is visible (for snapshot-per-transaction isolation
+    levels; statement-snapshot levels report the current statement's
+    horizon).  Streaming replication stamps base snapshots with it. *)
 
 val snapshot_is_safe : txn -> bool
 (** For serializable read-only transactions: the §4.2 safe-snapshot

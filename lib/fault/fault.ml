@@ -3,6 +3,8 @@ module E = Ssi_engine.Engine
 module Sim = Ssi_sim.Sim
 module Ssi = Ssi_core.Ssi
 module R = Ssi_replication.Replica
+module Net = Ssi_net.Net
+module Stream = Ssi_replication.Stream
 
 (* ---- Injector ------------------------------------------------------------ *)
 
@@ -35,6 +37,8 @@ type kind =
   | Memory_pressure of { cap : int; duration : float }
   | Lag_spike of { lag : int; duration : float }
   | Failover
+  | Partition of { victim : int; duration : float }
+  | Net_chaos of { drop : float; dup : float; reorder : float; duration : float }
 
 type event = { at : float; kind : kind }
 type plan = { seed : int; events : event list }
@@ -45,6 +49,8 @@ let kind_name = function
   | Memory_pressure _ -> "memory-pressure"
   | Lag_spike _ -> "lag-spike"
   | Failover -> "failover"
+  | Partition _ -> "partition"
+  | Net_chaos _ -> "net-chaos"
 
 let describe plan =
   List.map
@@ -57,11 +63,16 @@ let describe plan =
           Printf.sprintf "%.4f memory-pressure cap=%d duration=%.4f" ev.at cap duration
       | Lag_spike { lag; duration } ->
           Printf.sprintf "%.4f lag-spike lag=%d duration=%.4f" ev.at lag duration
-      | Failover -> Printf.sprintf "%.4f failover" ev.at)
+      | Failover -> Printf.sprintf "%.4f failover" ev.at
+      | Partition { victim; duration } ->
+          Printf.sprintf "%.4f partition victim=%d duration=%.4f" ev.at victim duration
+      | Net_chaos { drop; dup; reorder; duration } ->
+          Printf.sprintf "%.4f net-chaos drop=%.3f dup=%.3f reorder=%.3f duration=%.4f" ev.at
+            drop dup reorder duration)
     plan.events
 
 let gen_plan ~seed ~horizon ?(crashes = 1) ?(bursts = 1) ?(pressures = 1) ?(lag_spikes = 1)
-    ?(failover = false) () =
+    ?(failover = false) ?(partitions = 0) ?(net_chaos = 0) () =
   let rng = Rng.make (Hashtbl.hash (seed, "fault-plan")) in
   let between lo hi = lo +. Rng.float rng (hi -. lo) in
   let events = ref [] in
@@ -88,6 +99,25 @@ let gen_plan ~seed ~horizon ?(crashes = 1) ?(bursts = 1) ?(pressures = 1) ?(lag_
       (between (0.1 *. horizon) (0.7 *. horizon))
       (Lag_spike { lag = 1 + Rng.int rng 8; duration = between (0.1 *. horizon) (0.3 *. horizon) })
   done;
+  (* New perturbation classes draw after all the original ones, so plans
+     that request none of them are byte-identical to pre-network plans
+     from the same seed. *)
+  for _ = 1 to partitions do
+    add
+      (between (0.1 *. horizon) (0.6 *. horizon))
+      (Partition { victim = Rng.int rng 4; duration = between (0.1 *. horizon) (0.3 *. horizon) })
+  done;
+  for _ = 1 to net_chaos do
+    add
+      (between (0.05 *. horizon) (0.7 *. horizon))
+      (Net_chaos
+         {
+           drop = 0.02 +. Rng.float rng 0.13;
+           dup = 0.02 +. Rng.float rng 0.13;
+           reorder = 0.05 +. Rng.float rng 0.25;
+           duration = between (0.1 *. horizon) (0.3 *. horizon);
+         })
+  done;
   if failover then add (0.9 *. horizon) Failover;
   { seed; events = List.stable_sort (fun a b -> compare a.at b.at) !events }
 
@@ -97,6 +127,7 @@ type target = {
   engine : E.t;
   injector : injector option;
   replica : R.t option;
+  net : Stream.net option;
 }
 
 let execute ?(observer = fun _ _ -> ()) target plan ~log =
@@ -139,6 +170,31 @@ let execute ?(observer = fun _ _ -> ()) target plan ~log =
                   Sim.delay duration;
                   R.set_apply_lag replica 0;
                   logf "lag-spike end"))
-      | Failover -> logf "failover");
+      | Failover -> logf "failover"
+      | Partition { victim; duration } -> (
+          match target.net with
+          | None -> logf "partition skipped (no net)"
+          | Some net -> (
+              match Net.nodes net with
+              | [] -> logf "partition skipped (no nodes)"
+              | nodes ->
+                  let node = List.nth nodes (victim mod List.length nodes) in
+                  logf "partition begin node=%s" node;
+                  Net.isolate net node;
+                  Sim.spawn (fun () ->
+                      Sim.delay duration;
+                      Net.rejoin net node;
+                      logf "partition end node=%s" node)))
+      | Net_chaos { drop; dup; reorder; duration } -> (
+          match target.net with
+          | None -> logf "net-chaos skipped (no net)"
+          | Some net ->
+              let was_drop, was_dup, was_reorder = Net.chaos net in
+              logf "net-chaos begin drop=%.3f dup=%.3f reorder=%.3f" drop dup reorder;
+              Net.set_chaos net ~drop ~duplicate:dup ~reorder ();
+              Sim.spawn (fun () ->
+                  Sim.delay duration;
+                  Net.set_chaos net ~drop:was_drop ~duplicate:was_dup ~reorder:was_reorder ();
+                  logf "net-chaos end")));
       observer `After ev)
     plan.events

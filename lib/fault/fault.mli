@@ -52,17 +52,27 @@ type kind =
   | Memory_pressure of { cap : int; duration : float }
   | Lag_spike of { lag : int; duration : float }
   | Failover
+  | Partition of { victim : int; duration : float }
+      (** Isolate one network node ([victim] is an index into the net's
+          registered nodes, modulo their count) from all others for
+          [duration], then rejoin it. *)
+  | Net_chaos of { drop : float; dup : float; reorder : float; duration : float }
+      (** Raise the network-wide drop/duplicate/reorder chaos floor for a
+          window, then restore the previous floor. *)
 
 type event = { at : float; kind : kind }
 type plan = { seed : int; events : event list }  (** events sorted by [at] *)
 
 val gen_plan :
   seed:int -> horizon:float -> ?crashes:int -> ?bursts:int -> ?pressures:int ->
-  ?lag_spikes:int -> ?failover:bool -> unit -> plan
+  ?lag_spikes:int -> ?failover:bool -> ?partitions:int -> ?net_chaos:int -> unit -> plan
 (** Draw a plan from the seed: event times land inside the horizon (a
     failover, if requested, lands near its end), burst rates, pressure
-    caps, lag depths and durations are all seeded.  Defaults: one of each
-    perturbation, no failover. *)
+    caps, lag depths, partition victims and network fault floors are all
+    seeded.  Defaults: one each of the original perturbations, no
+    failover, and no network events ([partitions] and [net_chaos] default
+    to 0) — with the network classes disabled a plan is byte-identical to
+    one generated before they existed. *)
 
 val kind_name : kind -> string
 val describe : plan -> string list
@@ -74,6 +84,8 @@ type target = {
   engine : E.t;
   injector : injector option;  (** required for [Fault_burst] events *)
   replica : Ssi_replication.Replica.t option;  (** required for [Lag_spike] *)
+  net : Ssi_replication.Stream.net option;
+      (** required for [Partition] and [Net_chaos] *)
 }
 
 val execute :

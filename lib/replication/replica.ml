@@ -15,14 +15,16 @@ end)
 type versions = (int * Value.t array option) list ref
 
 type t = {
+  rep_name : string;
+  rep_obs : Obs.t;
   tables : (string, versions Key_table.t) Hashtbl.t;
   mutable applied : int;
   mutable last_safe : int;
   mutable lag : int;
   pending : E.commit_record Queue.t;
   safe_arrived : Waitq.t;
-  (* Gauges in the primary's registry: how far behind the replica is
-     (records held back), and the frontiers it has reached. *)
+  (* Gauges under replica.<name>.*: how far behind the replica is (records
+     held back), and the frontiers it has reached. *)
   g_apply_lag : Obs.gauge;
   g_applied : Obs.gauge;
   g_safe : Obs.gauge;
@@ -73,30 +75,58 @@ let drain t =
   done;
   Obs.set_gauge t.g_apply_lag (float_of_int (Queue.length t.pending))
 
-let on_commit t record =
+let deliver t record =
   Queue.add record t.pending;
   drain t
 
-let attach primary =
+let create ?obs ?(name = "replica") () =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let metric suffix = Printf.sprintf "replica.%s.%s" name suffix in
+  {
+    rep_name = name;
+    rep_obs = obs;
+    tables = Hashtbl.create 8;
+    applied = 0;
+    last_safe = 0;
+    lag = 0;
+    pending = Queue.create ();
+    safe_arrived = Waitq.create ();
+    g_apply_lag = Obs.gauge obs (metric "apply_lag");
+    g_applied = Obs.gauge obs (metric "applied_cseq");
+    g_safe = Obs.gauge obs (metric "safe_cseq");
+  }
+
+let attach ?name primary =
   let obs = E.obs primary in
-  let t =
-    {
-      tables = Hashtbl.create 8;
-      applied = 0;
-      last_safe = 0;
-      lag = 0;
-      pending = Queue.create ();
-      safe_arrived = Waitq.create ();
-      g_apply_lag = Obs.gauge obs "replica.apply_lag";
-      g_applied = Obs.gauge obs "replica.applied_cseq";
-      g_safe = Obs.gauge obs "replica.safe_cseq";
-    }
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        (* One counter per primary registry numbers its replicas, so
+           multi-replica attach never collides on gauge names. *)
+        let c = Obs.counter obs "replica.attached" in
+        Obs.incr c;
+        Printf.sprintf "r%d" (Obs.counter_value c)
   in
-  E.set_on_commit primary (on_commit t);
+  let t = create ~obs ~name () in
+  E.set_on_commit primary (deliver t);
   t
+
+let name t = t.rep_name
+let obs t = t.rep_obs
+
+let reset t =
+  Hashtbl.reset t.tables;
+  Queue.clear t.pending;
+  t.applied <- 0;
+  t.last_safe <- 0;
+  Obs.set_gauge t.g_applied 0.;
+  Obs.set_gauge t.g_safe 0.;
+  Obs.set_gauge t.g_apply_lag 0.
 
 let applied_cseq t = t.applied
 let last_safe_cseq t = t.last_safe
+let pending_records t = Queue.length t.pending
 
 let set_apply_lag t n =
   t.lag <- max 0 n;
@@ -140,13 +170,36 @@ let scan r ~table ?(filter = fun _ -> true) () =
           | Some _ | None -> acc)
         store []
 
-let wait_snapshot t ~after =
-  while t.last_safe <= after do
+let wait_snapshot ?deadline t ~after =
+  let timed_out = ref false in
+  (match deadline with
+  | None -> ()
+  | Some d ->
+      Ssi_sim.Sim.at ~after:d (fun () ->
+          timed_out := true;
+          (* Spurious wakeups are fine: other waiters recheck and re-wait. *)
+          Waitq.wake_all t.safe_arrived));
+  while t.last_safe <= after && not !timed_out do
     Ssi_sim.Sim.wait t.safe_arrived
   done;
-  t.last_safe
+  if t.last_safe > after then t.last_safe
+  else
+    raise
+      (E.Transient_fault
+         {
+           op = "wait_snapshot";
+           reason = Printf.sprintf "no safe snapshot after cseq %d within the deadline" after;
+         })
+
+type promotion = { engine : E.t; promote_cseq : int; discarded_commits : int }
 
 let promote t ~primary mode =
+  (* Drain everything already received, apply lag included: WAL the replica
+     holds must not be silently dropped by a failover. *)
+  let held = t.lag in
+  t.lag <- 0;
+  drain t;
+  t.lag <- held;
   let engine = E.create () in
   let tables = List.sort compare (E.table_names primary) in
   List.iter
@@ -161,4 +214,15 @@ let promote t ~primary mode =
       List.iter
         (fun name -> List.iter (fun row -> E.insert txn ~table:name row) (scan r ~table:name ()))
         tables);
-  engine
+  (* Cseqs are dense over streamed commits, so the commits a `Latest_safe
+     promotion gives up are exactly those between the chosen horizon and
+     the applied frontier. *)
+  let discarded = max 0 (t.applied - r.horizon) in
+  Obs.trace t.rep_obs "replica.promote"
+    ~fields:
+      [
+        ("replica", Obs.S t.rep_name);
+        ("cseq", Obs.I r.horizon);
+        ("discarded", Obs.I discarded);
+      ];
+  { engine; promote_cseq = r.horizon; discarded_commits = discarded }

@@ -15,6 +15,7 @@ type state = {
 let current : state option ref = ref None
 
 let get () = match !current with None -> raise Not_in_simulation | Some st -> st
+let running () = !current <> None
 
 type _ Effect.t +=
   | Delay : float -> unit Effect.t
@@ -95,6 +96,11 @@ let run main =
   t
 
 let spawn body = spawn_in (get ()) body
+
+let at ~after body =
+  let st = get () in
+  st.unfinished <- st.unfinished + 1;
+  schedule st ~after:(Float.max 0. after) (fun () -> exec_process st body)
 let delay d = if d > 0. then Effect.perform (Delay d) else ignore (get ())
 let now () = (get ()).now
 let yield () = Effect.perform (Delay 0.)

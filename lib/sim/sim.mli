@@ -27,11 +27,23 @@ val run : (unit -> unit) -> float
 val spawn : (unit -> unit) -> unit
 (** Start a new process at the current virtual time. *)
 
+val at : after:float -> (unit -> unit) -> unit
+(** [at ~after body] starts [body] as a new process [after] virtual
+    seconds from now — a one-shot timer.  Equivalent to
+    [spawn (fun () -> delay after; body ())] without making the caller's
+    schedule depend on an extra process switch; the network layer and
+    quorum deadlines are built on this. *)
+
 val delay : float -> unit
 (** Advance the calling process's virtual time by [d] seconds. *)
 
 val now : unit -> float
 (** Current virtual time. *)
+
+val running : unit -> bool
+(** Whether a simulation is active — for code that degrades gracefully
+    outside one (e.g. quorum commit reverts to asynchronous when the
+    engine is used directly). *)
 
 val yield : unit -> unit
 (** Reschedule the calling process at the current time, letting other

@@ -173,7 +173,7 @@ let run_plan cfg =
         incr crash_checks
     | `After, F.Failover ->
         let safe = R.last_safe_cseq replica in
-        let eng = R.promote replica ~primary:db `Latest_safe in
+        let eng = (R.promote replica ~primary:db `Latest_safe).R.engine in
         let rows =
           E.with_txn ~isolation:E.Repeatable_read eng (fun t -> E.seq_scan t ~table ())
         in
@@ -192,7 +192,8 @@ let run_plan cfg =
                E.insert t ~table [| vi k; vi (E.xid t) |]
              done);
          Sim.spawn (fun () ->
-             F.execute ~observer { F.engine = db; injector = Some injector; replica = Some replica }
+             F.execute ~observer
+               { F.engine = db; injector = Some injector; replica = Some replica; net = None }
                plan ~log);
          for w = 1 to cfg.workers do
            let rng = Rng.make (Hashtbl.hash (cfg.seed, w)) in

@@ -249,6 +249,103 @@ let test_wait_snapshot () =
              Alcotest.(check bool) "waited" true (Sim.now () >= 1.0))));
   Alcotest.(check bool) "safe cseq returned" true (!arrived > 0)
 
+let test_wait_snapshot_deadline () =
+  (* Same wait, but cut off from safe points: the deadline converts an
+     eternal suspension into a retryable fault. *)
+  let raised = ref false in
+  ignore
+    (Sim.run (fun () ->
+         let db = E.create ~scheduler:Sim.scheduler () in
+         E.create_table db ~name:"kv" ~cols:[ "k"; "v" ] ~key:"k";
+         let replica = R.attach db in
+         (* An rw serializable transaction stays open for the whole run, so
+            no commit ever becomes a safe point. *)
+         let rw = E.begin_txn db in
+         ignore (E.read rw ~table:"kv" ~key:(vi 1));
+         Sim.spawn (fun () ->
+             Sim.delay 0.5;
+             E.with_txn db (fun t -> E.insert t ~table:"kv" [| vi 1; vi 1 |]));
+         Sim.spawn (fun () ->
+             try ignore (R.wait_snapshot ~deadline:1.0 replica ~after:0)
+             with E.Transient_fault { op; _ } ->
+               raised := true;
+               Alcotest.(check string) "fault names the operation" "wait_snapshot" op;
+               Alcotest.(check bool) "deadline elapsed first" true (Sim.now () >= 1.0));
+         Sim.spawn (fun () ->
+             Sim.delay 2.0;
+             E.commit rw)));
+  Alcotest.(check bool) "timed out with a retryable fault" true !raised
+
+let test_wait_snapshot_deadline_success () =
+  (* A deadline that is NOT hit behaves exactly like the plain wait. *)
+  let arrived = ref 0 in
+  ignore
+    (Sim.run (fun () ->
+         let db = E.create ~scheduler:Sim.scheduler () in
+         E.create_table db ~name:"kv" ~cols:[ "k"; "v" ] ~key:"k";
+         let replica = R.attach db in
+         Sim.spawn (fun () ->
+             Sim.delay 0.2;
+             E.with_txn db (fun t -> E.insert t ~table:"kv" [| vi 1; vi 1 |]));
+         Sim.spawn (fun () -> arrived := R.wait_snapshot ~deadline:5.0 replica ~after:0)));
+  Alcotest.(check bool) "safe cseq returned before the deadline" true (!arrived > 0)
+
+let test_multi_replica_attach () =
+  (* Several replicas on one primary: all fed, and their metrics kept
+     apart (auto-names r1, r2, ... in the primary's registry). *)
+  let db = E.create () in
+  E.create_table db ~name:"kv" ~cols:[ "k"; "v" ] ~key:"k";
+  let a = R.attach db in
+  let b = R.attach db in
+  R.set_apply_lag b 1;
+  E.with_txn db (fun t -> E.insert t ~table:"kv" [| vi 1; vi 10 |]);
+  E.with_txn db (fun t -> bump t 1 11);
+  Alcotest.(check string) "auto name r1" "r1" (R.name a);
+  Alcotest.(check string) "auto name r2" "r2" (R.name b);
+  let rta = R.begin_read a `Latest_applied in
+  let rtb = R.begin_read b `Latest_applied in
+  Alcotest.(check (option int)) "first replica fully applied" (Some 11) (r_value rta 1);
+  Alcotest.(check (option int)) "second replica lags independently" (Some 10) (r_value rtb 1);
+  let obs = E.obs db in
+  Alcotest.(check bool) "per-replica gauges do not collide" true
+    (Ssi_obs.Obs.gauge_value (Ssi_obs.Obs.gauge obs "replica.r1.apply_lag")
+    <> Ssi_obs.Obs.gauge_value (Ssi_obs.Obs.gauge obs "replica.r2.apply_lag"))
+
+let test_promote_drains_pending () =
+  (* Failover must not silently drop WAL the replica already holds: even
+     records parked behind an apply-lag window are applied first. *)
+  let db, replica = fresh () in
+  R.set_apply_lag replica 2;
+  E.with_txn db (fun t -> E.insert t ~table:"kv" [| vi 1; vi 10 |]);
+  E.with_txn db (fun t -> E.insert t ~table:"kv" [| vi 2; vi 20 |]);
+  E.with_txn db (fun t -> E.insert t ~table:"kv" [| vi 3; vi 30 |]);
+  Alcotest.(check int) "two records parked" 2 (R.pending_records replica);
+  let p = R.promote replica ~primary:db `Latest_applied in
+  Alcotest.(check int) "nothing discarded" 0 p.R.discarded_commits;
+  let n =
+    E.with_txn p.R.engine (fun t -> List.length (E.seq_scan t ~table:"kv" ()))
+  in
+  Alcotest.(check int) "parked records survived the failover" 3 n
+
+let test_promote_reports_discarded () =
+  (* A `Latest_safe promotion gives up the commits after the last safe
+     point — and says how many. *)
+  let db, replica = fresh () in
+  E.with_txn db (fun t -> E.insert t ~table:"kv" [| vi 1; vi 10 |]) (* safe *);
+  let rw = E.begin_txn db in
+  ignore (E.read rw ~table:"kv" ~key:(vi 1));
+  E.with_txn db (fun t -> E.insert t ~table:"kv" [| vi 2; vi 20 |]) (* unsafe *);
+  E.with_txn db (fun t -> E.insert t ~table:"kv" [| vi 3; vi 30 |]) (* unsafe *);
+  let p = R.promote replica ~primary:db `Latest_safe in
+  Alcotest.(check int) "two commits discarded" 2 p.R.discarded_commits;
+  Alcotest.(check int) "promoted at the safe point" (R.last_safe_cseq replica)
+    p.R.promote_cseq;
+  let n =
+    E.with_txn p.R.engine (fun t -> List.length (E.seq_scan t ~table:"kv" ()))
+  in
+  Alcotest.(check int) "unsafe tail absent" 1 n;
+  E.commit rw
+
 let () =
   Alcotest.run "replication"
     [
@@ -258,6 +355,16 @@ let () =
           Alcotest.test_case "aborts not shipped" `Quick test_aborts_not_shipped;
           Alcotest.test_case "snapshot stability" `Quick test_snapshot_stability;
           Alcotest.test_case "apply lag" `Quick test_apply_lag;
+          Alcotest.test_case "multi-replica attach" `Quick test_multi_replica_attach;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "promote drains pending WAL" `Quick test_promote_drains_pending;
+          Alcotest.test_case "promote reports discarded commits" `Quick
+            test_promote_reports_discarded;
+          Alcotest.test_case "wait with deadline times out" `Quick test_wait_snapshot_deadline;
+          Alcotest.test_case "wait with deadline succeeds" `Quick
+            test_wait_snapshot_deadline_success;
         ] );
       ( "safe snapshots (§7.2)",
         [
