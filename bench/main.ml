@@ -147,8 +147,13 @@ let micro_tests () =
      an idle declared-read-only transaction is immediately granted a safe
      snapshot (§4.2) and would skip the read tracking this microbenchmark
      is measuring. *)
-  let test_of name isolation kind =
+  let test_of ?(tracing = true) name isolation kind =
     let db = make_db () in
+    (* Span recording is unconditional (causality must survive into
+       post-mortems); only ring emission is toggleable.  The -notrace
+       variant isolates that ring cost the same way query/SSI-safe
+       isolates read tracking. *)
+    if not tracing then Ssi_obs.Obs.set_tracing (E.obs db) false;
     Test.make ~name
       (Staged.stage (fun () ->
            match kind with
@@ -169,6 +174,7 @@ let micro_tests () =
     test_of "query/S2PL" E.Serializable_2pl `Query;
     test_of "update/SI" E.Repeatable_read `Update;
     test_of "update/SSI" E.Serializable `Update;
+    test_of "update/SSI-notrace" ~tracing:false E.Serializable `Update;
     test_of "update/S2PL" E.Serializable_2pl `Update;
   ]
 
@@ -194,18 +200,19 @@ let micro () =
     (micro_tests ());
   let results = List.sort compare !results in
   let find name = try List.assoc name results with Not_found -> nan in
-  Printf.printf "%-14s %12s %10s\n" "transaction" "ns/txn" "vs SI";
+  Printf.printf "%-18s %12s %10s\n" "transaction" "ns/txn" "vs SI";
   List.iter
     (fun (name, ns) ->
       let base =
         if String.length name >= 5 && String.sub name 0 5 = "query" then find "query/SI"
         else find "update/SI"
       in
-      Printf.printf "%-14s %12.0f %9.2fx\n" name ns (ns /. base))
+      Printf.printf "%-18s %12.0f %9.2fx\n" name ns (ns /. base))
     results;
   Printf.printf
     "(query/SSI vs SI is the read-tracking CPU overhead, paper: 10-20%%;\n\
-    \ query/SSI-safe shows the safe-snapshot optimization recovering it)\n"
+    \ query/SSI-safe shows the safe-snapshot optimization recovering it;\n\
+    \ update/SSI-notrace isolates the trace-ring share of telemetry cost)\n"
 
 (* ---- Dispatch ------------------------------------------------------------------ *)
 

@@ -5,6 +5,7 @@
      pg_ssi workload <sibench|tpcc|rubis> --mode <si|ssi|ssi-noro|s2pl> ...
      pg_ssi stats <sibench|tpcc|rubis>    -- run, then dump the metric registry
      pg_ssi trace <sibench|tpcc|rubis>    -- run, then dump trace events as JSONL
+     pg_ssi explain <sibench|tpcc|rubis>  -- run, then explain every SSI abort
 
    The bench subcommand prints the same tables as bench/main.exe; the
    workload subcommand runs a single configuration and reports its
@@ -151,7 +152,7 @@ let run_workload name mode_str workers duration seed =
    hook), then dump the observability core: the full metric registry
    (stats) or the retained trace-event ring as JSON Lines (trace). *)
 
-let run_observed name mode_str workers duration seed k =
+let run_observed ?trace_capacity name mode_str workers duration seed k =
   let mode = mode_of_string mode_str in
   let eng = ref None in
   let bench =
@@ -163,6 +164,7 @@ let run_observed name mode_str workers duration seed k =
       warmup = duration /. 5.;
       seed;
       chaos = Some (fun db -> eng := Some db);
+      trace_capacity;
     }
   in
   let setup, specs = workload_config name in
@@ -180,9 +182,35 @@ let run_stats name mode_str workers duration seed =
       print_string (Ssi_obs.Obs.render (E.obs db));
       0)
 
-let run_trace name mode_str workers duration seed =
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let run_trace name mode_str workers duration seed filter limit =
   run_observed name mode_str workers duration seed (fun db _r ->
-      print_string (Ssi_obs.Obs.events_to_jsonl (E.obs db));
+      let evs = Ssi_obs.Obs.events (E.obs db) in
+      let evs =
+        match filter with
+        | None -> evs
+        | Some prefix ->
+            List.filter (fun (e : Ssi_obs.Obs.event) -> has_prefix ~prefix e.Ssi_obs.Obs.name) evs
+      in
+      let evs =
+        match limit with
+        | None -> evs
+        | Some n ->
+            (* Keep the most recent [n]: the tail of the emission order. *)
+            let skip = List.length evs - n in
+            if skip <= 0 then evs else List.filteri (fun i _ -> i >= skip) evs
+      in
+      List.iter (fun e -> print_endline (Ssi_obs.Obs.event_to_json e)) evs;
+      0)
+
+let run_explain name mode_str workers duration seed trace_capacity =
+  run_observed ~trace_capacity name mode_str workers duration seed (fun db r ->
+      print_summary name (mode_of_string mode_str) workers duration r;
+      Format.printf "@.";
+      print_string (Explain.render (E.obs db));
       0)
 
 (* ---- chaos ---------------------------------------------------------------- *)
@@ -204,7 +232,8 @@ let print_promotion (p : Replica.promotion) =
     "  failover           promoted at cseq %d: %d rows (safe snapshot), %d commits discarded@."
     p.Replica.promote_cseq (row_count p.Replica.engine) p.Replica.discarded_commits
 
-let run_chaos seed duration workers failover replicas quorum partitions net_chaos =
+let run_chaos seed duration workers failover replicas quorum partitions net_chaos explain
+    trace_out trace_capacity =
   let rows = 100 in
   let plan = F.gen_plan ~seed ~horizon:duration ~failover ~partitions ~net_chaos () in
   Format.printf "chaos seed=%d horizon=%.1fs workers=%d replicas=%d@." seed duration workers
@@ -214,6 +243,7 @@ let run_chaos seed duration workers failover replicas quorum partitions net_chao
   let log_lines = ref [] in
   let log s = log_lines := s :: !log_lines in
   let injector = F.injector ~seed in
+  let eng = ref None in
   let replica = ref None in
   let promoted = ref None in
   let net = ref None in
@@ -221,6 +251,7 @@ let run_chaos seed duration workers failover replicas quorum partitions net_chao
   let streamed = ref [] in
   let failed_over = ref None in
   let chaos db =
+    eng := Some db;
     E.set_fault_injector db (Some (fun ~op -> F.hook injector ~op));
     if replicas = 0 then begin
       (* Direct mode: the replica hangs off the primary's in-process commit
@@ -289,6 +320,7 @@ let run_chaos seed duration workers failover replicas quorum partitions net_chao
       warmup = 0.;
       seed;
       chaos = Some chaos;
+      trace_capacity;
     }
   in
   let r = Driver.run ~setup:(Sibench.setup ~rows) ~specs:(Sibench.specs ~rows ()) bench in
@@ -337,6 +369,23 @@ let run_chaos seed duration workers failover replicas quorum partitions net_chao
               (if Replica.applied_cseq core >= acting_last then " (converged)" else " (behind)"))
         !streamed
   | _ -> ());
+  (match !eng with
+  | None -> ()
+  | Some db ->
+      let obs = E.obs db in
+      if explain then begin
+        Format.printf "explain:@.";
+        print_string (Explain.render obs)
+      end;
+      match trace_out with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Ssi_obs.Obs.Spans.to_chrome_json obs);
+          close_out oc;
+          Format.printf "trace written to %s (%d spans retained, %d dropped)@." path
+            (List.length (Ssi_obs.Obs.Spans.all obs))
+            (Ssi_obs.Obs.Spans.dropped obs));
   0
 
 (* ---- sql REPL ------------------------------------------------------------ *)
@@ -423,12 +472,40 @@ let stats_cmd =
     Term.(const run_stats $ wl_arg $ mode_arg $ workers_arg $ duration_arg $ seed_arg)
 
 let trace_cmd =
+  let filter_arg =
+    Arg.(value & opt (some string) None
+         & info [ "filter" ] ~docv:"PREFIX"
+             ~doc:"Only events whose dotted name starts with $(docv) (e.g. ssi. or txn)")
+  in
+  let limit_arg =
+    Arg.(value & opt (some int) None
+         & info [ "limit" ] ~docv:"N" ~doc:"Only the most recent $(docv) matching events")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Run a workload, then dump the retained structured trace events (commits, \
           aborts, conflicts, summarizations) as JSON Lines")
-    Term.(const run_trace $ wl_arg $ mode_arg $ workers_arg $ duration_arg $ seed_arg)
+    Term.(
+      const run_trace $ wl_arg $ mode_arg $ workers_arg $ duration_arg $ seed_arg
+      $ filter_arg $ limit_arg)
+
+let explain_cmd =
+  let cap_arg =
+    Arg.(value & opt int 65536
+         & info [ "trace-capacity" ] ~docv:"N"
+             ~doc:
+               "Size of the trace ring and span table; must exceed the run's event volume \
+                or evidence is overwritten (the report then says so)")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run a workload, then reconstruct and pretty-print the dangerous structure \
+          (T1 --rw--> T2 --rw--> T3, the rule that fired, the victim-selection reason) \
+          behind every SSI serialization failure")
+    Term.(
+      const run_explain $ wl_arg $ mode_arg $ workers_arg $ duration_arg $ seed_arg $ cap_arg)
 
 let chaos_cmd =
   let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Fault-plan seed") in
@@ -464,6 +541,25 @@ let chaos_cmd =
          & info [ "net-chaos" ]
              ~doc:"Seeded drop/duplicate/reorder windows to schedule" ~docv:"N")
   in
+  let explain_arg =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Print the dangerous structure behind every SSI abort after the run")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:
+               "Export all retained spans as Chrome trace-event JSON (Perfetto / \
+                chrome://tracing) to $(docv)")
+  in
+  let trace_capacity_arg =
+    Arg.(value & opt (some int) None
+         & info [ "trace-capacity" ] ~docv:"N"
+             ~doc:
+               "Size of the trace ring and span table (default 4096 each); exports and \
+                explanations need this above the run's event volume")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -471,7 +567,8 @@ let chaos_cmd =
           replica lag, network partitions and chaos) and report resilience counters")
     Term.(
       const run_chaos $ seed_arg $ duration_arg $ workers_arg $ failover_arg $ replicas_arg
-      $ quorum_arg $ partitions_arg $ net_chaos_arg)
+      $ quorum_arg $ partitions_arg $ net_chaos_arg $ explain_arg $ trace_out_arg
+      $ trace_capacity_arg)
 
 let sql_cmd =
   let file_arg =
@@ -489,4 +586,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ demo_cmd; bench_cmd; workload_cmd; stats_cmd; trace_cmd; chaos_cmd; sql_cmd ]))
+          [
+            demo_cmd;
+            bench_cmd;
+            workload_cmd;
+            stats_cmd;
+            trace_cmd;
+            explain_cmd;
+            chaos_cmd;
+            sql_cmd;
+          ]))

@@ -90,6 +90,7 @@ type t = {
   table : entry Target_table.t;
   owners : (xid, owner_state) Hashtbl.t;
   config : config;
+  obs : Obs.t;
   metrics : metrics;
 }
 
@@ -106,7 +107,7 @@ let create ?(config = default_config) ?(obs = Obs.create ()) () =
       m_promotions = Obs.counter obs "predlock.promotions";
     }
   in
-  { table = Target_table.create 1024; owners = Hashtbl.create 64; config; metrics }
+  { table = Target_table.create 1024; owners = Hashtbl.create 64; config; obs; metrics }
 
 let count_acquired t = function
   | Relation _ -> Obs.incr t.metrics.m_relation
@@ -166,6 +167,12 @@ let grant t owner state target =
     let e = entry_of t target in
     e.holders <- owner :: e.holders;
     count_acquired t target;
+    (* Span-attached only (~ring:false): SIREAD acquisitions are far too
+       frequent to let them wash everything else out of the trace ring,
+       but per-transaction they are exactly what an abort post-mortem
+       wants to see. *)
+    Obs.span_event_owner t.obs ~ring:false owner "predlock.lock"
+      ~fields:[ ("target", Obs.S (Format.asprintf "%a" pp_target target)) ];
     true
   end
   else false

@@ -131,7 +131,7 @@ let oldserxid_size t = Hashtbl.length t.oldserxid
 let fail t node reason =
   Obs.incr t.metrics.m_failures;
   count_victim t reason;
-  Obs.trace t.obs "ssi.fail"
+  Obs.span_event_owner t.obs node.xid "ssi.fail"
     ~fields:[ ("xid", Obs.I node.xid); ("reason", Obs.S reason) ];
   raise (Serialization_failure { xid = node.xid; reason })
 
@@ -149,6 +149,58 @@ let is_committed n = n.status = Committed
 let commit_cseq_or_inf n = if n.status = Committed then n.commit_cseq else invalid_cseq
 
 let effective_earliest_out n = if n.conservative_out then 0 else n.cached_earliest_out
+
+(* ---- Structure records for the abort explainer --------------------------- *)
+
+(* A commit cseq's transaction id, when the manager still knows it: an
+   active/committed node, or a summarized (oldserxid) entry.  Commit
+   cseqs are unique, so at most one entry matches; [-1] when the identity
+   has been lost to cleanup. *)
+let resolve_xid_by_cseq t c =
+  if c <= 0 || c = invalid_cseq then -1
+  else begin
+    let found = ref (-1) in
+    Hashtbl.iter
+      (fun xid n -> if n.status = Committed && n.commit_cseq = c then found := xid)
+      t.by_xid;
+    if !found < 0 then
+      Hashtbl.iter (fun xid e -> if e.old_commit = c then found := xid) t.oldserxid;
+    !found
+  end
+
+(* Every doom/fail decision leaves one [ssi.dangerous] event carrying the
+   whole structure T1 --rw--> T2 --rw--> T3 (xids and commit cseqs, [-1]
+   when unknown/uncommitted), which rule fired, and the chosen victim —
+   the raw material [pg_ssi explain] reconstructs structures from.
+   Attached to the victim's span when one is registered. *)
+let record_dangerous t ~victim ~reason ~rule ~t1:(t1_xid, t1_cseq, t1_ro)
+    ~t2:(t2_xid, t2_cseq) ~t3:(t3_xid, t3_cseq) =
+  Obs.span_event_owner t.obs victim "ssi.dangerous"
+    ~fields:
+      [
+        ("victim", Obs.I victim);
+        ("reason", Obs.S reason);
+        ("rule", Obs.S rule);
+        ("t1", Obs.I t1_xid);
+        ("t1_cseq", Obs.I t1_cseq);
+        ("t1_ro", Obs.B t1_ro);
+        ("t2", Obs.I t2_xid);
+        ("t2_cseq", Obs.I t2_cseq);
+        ("t3", Obs.I t3_xid);
+        ("t3_cseq", Obs.I t3_cseq);
+      ]
+
+let node_cseq_or_neg n = if n.status = Committed then n.commit_cseq else -1
+let t1_fields n = (n.xid, node_cseq_or_neg n, ro_in_theory n)
+
+(* Which refinement made the structure dangerous: the Theorem 3 read-only
+   snapshot-ordering rule (§4.1) when T1 is read-only under the
+   optimization, the §3.3.1 commit-ordering rule when commit order is
+   known, and plain "pivot" for the conservative paths that have lost the
+   ordering information. *)
+let rule_for t t1 =
+  if t.config.read_only_opt && ro_in_theory t1 then "read-only snapshot ordering"
+  else "commit-ordering"
 
 (* ---- Dangerous-structure test ------------------------------------------ *)
 
@@ -181,7 +233,7 @@ let doom ?(reason = "doomed by first committer") t victim =
     victim.doomed <- true;
     Obs.incr t.metrics.m_dooms;
     count_victim t reason;
-    Obs.trace t.obs "ssi.doom"
+    Obs.span_event_owner t.obs victim.xid "ssi.doom"
       ~fields:[ ("xid", Obs.I victim.xid); ("reason", Obs.S reason) ]
   end
 
@@ -189,17 +241,38 @@ let abortable n = (n.status = Active) && not n.doomed
 
 (* Resolve a dangerous structure: prefer the pivot T2, then T1; never a
    committed or prepared transaction.  If the victim is the acting
-   transaction, raise; otherwise doom it and let the actor proceed. *)
-let victimize t ~actor ~t1 ~t2 ~reason =
+   transaction, raise; otherwise doom it and let the actor proceed.
+   [t1v]/[t3] are the explainer's views of the endpoints ((xid, cseq[,
+   ro]), [-1] for unknown); the structure record is emitted against
+   whichever victim is chosen, before the doom/fail event. *)
+let victimize t ~actor ~t1 ~t2 ~t1v ~t3 ~rule ~reason =
+  let record victim =
+    record_dangerous t ~victim ~reason ~rule ~t1:t1v ~t2:(t2.xid, node_cseq_or_neg t2) ~t3
+  in
   if abortable t2 && t2.status <> Prepared then
-    if t2 == actor then fail t actor reason else doom ~reason t t2
+    if t2 == actor then begin
+      record actor.xid;
+      fail t actor reason
+    end
+    else begin
+      record t2.xid;
+      doom ~reason t t2
+    end
   else
     match t1 with
     | Some u when abortable u && u.status <> Prepared ->
-        if u == actor then fail t actor reason else doom ~reason t u
+        if u == actor then begin
+          record actor.xid;
+          fail t actor reason
+        end
+        else begin
+          record u.xid;
+          doom ~reason t u
+        end
     | Some _ | None ->
         (* No abortable T1/T2 (e.g. prepared pivot, committed reader): the
            actor must give way (§7.1: safe retry can be lost here). *)
+        record actor.xid;
         fail t actor reason
 
 (* ---- Pivot checks -------------------------------------------------------- *)
@@ -209,22 +282,38 @@ let victimize t ~actor ~t1 ~t2 ~reason =
 let check_pivot_in t ~actor ~r ~t2 =
   let eo = effective_earliest_out t2 in
   if eo <> invalid_cseq && dangerous t ~t1:(T1_node r) ~t2 ~t3_cseq:eo then
-    victimize t ~actor ~t1:(Some r) ~t2 ~reason:"pivot gained rw-antidependency in"
+    victimize t ~actor ~t1:(Some r) ~t2 ~t1v:(t1_fields r)
+      ~t3:(resolve_xid_by_cseq t eo, (if eo = 0 then -1 else eo))
+      ~rule:(if eo = 0 then "pivot" else rule_for t r)
+      ~reason:"pivot gained rw-antidependency in"
 
 (* After [r] gained a new out-edge to a transaction committed at [t3_cseq],
    test whether r is now a pivot t1 --rw--> r --rw--> T3. *)
 let check_pivot_out t ~actor ~r ~t3_cseq =
   if t3_cseq <> invalid_cseq then begin
+    (* [t3_cseq = 0] is the conservative sentinel of a recovered prepared
+       transaction's unknown out-conflicts: no ordering rule applies. *)
+    let t3 = (resolve_xid_by_cseq t t3_cseq, (if t3_cseq = 0 then -1 else t3_cseq)) in
+    let ordered_rule t1 = if t3_cseq = 0 then "pivot" else rule_for t t1 in
     if r.summarized_in_max > 0
        && dangerous t ~t1:(T1_committed_at r.summarized_in_max) ~t2:r ~t3_cseq
-    then victimize t ~actor ~t1:None ~t2:r ~reason:"pivot with summarized reader";
+    then
+      victimize t ~actor ~t1:None ~t2:r
+        ~t1v:(resolve_xid_by_cseq t r.summarized_in_max, r.summarized_in_max, false)
+        ~t3
+        ~rule:(if t3_cseq = 0 then "pivot" else "commit-ordering")
+        ~reason:"pivot with summarized reader";
     if r.conservative_in && dangerous t ~t1:(T1_committed_at (invalid_cseq - 1)) ~t2:r ~t3_cseq
-    then victimize t ~actor ~t1:None ~t2:r ~reason:"pivot with recovered prepared reader";
+    then
+      victimize t ~actor ~t1:None ~t2:r ~t1v:(-1, -1, false) ~t3 ~rule:"pivot"
+        ~reason:"pivot with recovered prepared reader";
     List.iter
       (fun t1 ->
         if (not t1.doomed) && t1.status <> Aborted
            && dangerous t ~t1:(T1_node t1) ~t2:r ~t3_cseq
-        then victimize t ~actor ~t1:(Some t1) ~t2:r ~reason:"pivot gained rw-antidependency out")
+        then
+          victimize t ~actor ~t1:(Some t1) ~t2:r ~t1v:(t1_fields t1) ~t3
+            ~rule:(ordered_rule t1) ~reason:"pivot gained rw-antidependency out")
       r.in_conflicts
   end
 
@@ -245,6 +334,17 @@ let flag_conflict t ~actor ~reader ~writer =
     reader.out_conflicts <- writer :: reader.out_conflicts;
     writer.in_conflicts <- reader :: writer.in_conflicts;
     Obs.incr t.metrics.m_conflicts;
+    (* The conflict-edge event names both pivot candidates: either endpoint
+       of a new rw-antidependency may turn out to be the T2 of a dangerous
+       structure. *)
+    Obs.span_event_owner t.obs actor.xid "ssi.rw_edge"
+      ~fields:
+        [
+          ("reader", Obs.I reader.xid);
+          ("writer", Obs.I writer.xid);
+          ("reader_cseq", Obs.I (node_cseq_or_neg reader));
+          ("writer_cseq", Obs.I (node_cseq_or_neg writer));
+        ];
     if is_committed writer then note_out_target_committed reader writer.commit_cseq;
     (* writer as pivot: reader --rw--> writer --rw--> T3. *)
     check_pivot_in t ~actor ~r:reader ~t2:writer;
@@ -370,6 +470,15 @@ let conflict_out t node ~writer =
         | None -> () (* writer was not serializable *)
         | Some { old_commit; old_earliest_out } ->
             Obs.incr t.metrics.m_conflicts;
+            Obs.span_event_owner t.obs node.xid "ssi.rw_edge"
+              ~fields:
+                [
+                  ("reader", Obs.I node.xid);
+                  ("writer", Obs.I writer);
+                  ("reader_cseq", Obs.I (node_cseq_or_neg node));
+                  ("writer_cseq", Obs.I old_commit);
+                  ("summarized", Obs.B true);
+                ];
             note_out_target_committed node old_commit;
             (* Summarized writer as pivot: node --rw--> W --rw--> T3 with
                T3 at W's recorded earliest out-conflict (§6.2). *)
@@ -379,8 +488,17 @@ let conflict_out t node ~writer =
                 && ((not (t.config.read_only_opt && ro_in_theory node))
                    || old_earliest_out < node.snap_cseq)
               in
-              if w_committed_first then
+              if w_committed_first then begin
+                record_dangerous t ~victim:node.xid
+                  ~reason:"conflict out to summarized pivot"
+                  ~rule:
+                    (if t.config.read_only_opt && ro_in_theory node then
+                       "read-only snapshot ordering"
+                     else "commit-ordering")
+                  ~t1:(t1_fields node) ~t2:(writer, old_commit)
+                  ~t3:(resolve_xid_by_cseq t old_earliest_out, old_earliest_out);
                 fail t node "conflict out to summarized pivot"
+              end
             end;
             (* node as pivot with T3 = summarized writer. *)
             check_pivot_out t ~actor:node ~r:node ~t3_cseq:old_commit)
@@ -408,11 +526,25 @@ let conflict_in_readers t node readers =
   match old_committed with
   | Some c when c >= node.snap_cseq ->
       Obs.incr t.metrics.m_conflicts;
+      Obs.span_event_owner t.obs node.xid "ssi.rw_edge"
+        ~fields:
+          [
+            ("reader", Obs.I (resolve_xid_by_cseq t c));
+            ("writer", Obs.I node.xid);
+            ("reader_cseq", Obs.I c);
+            ("writer_cseq", Obs.I (node_cseq_or_neg node));
+            ("summarized", Obs.B true);
+          ];
       if c > node.summarized_in_max then node.summarized_in_max <- c;
       (* Summarized committed reader --rw--> node --rw--> T3? *)
       let eo = effective_earliest_out node in
       if eo <> invalid_cseq && dangerous t ~t1:(T1_committed_at c) ~t2:node ~t3_cseq:eo
-      then victimize t ~actor:node ~t1:None ~t2:node ~reason:"pivot with summarized reader"
+      then
+        victimize t ~actor:node ~t1:None ~t2:node
+          ~t1v:(resolve_xid_by_cseq t c, c, false)
+          ~t3:(resolve_xid_by_cseq t eo, (if eo = 0 then -1 else eo))
+          ~rule:(if eo = 0 then "pivot" else "commit-ordering")
+          ~reason:"pivot with summarized reader"
   | Some _ | None -> ()
 
 let write_check t node ~rel ~key ~page =
@@ -536,24 +668,52 @@ let precommit t node =
                      && not (t.config.read_only_opt && t1.declared_read_only))
             in
             let found = t2.conservative_in || List.exists dangerous_t1 t2.in_conflicts in
-            if found then
+            if found then begin
+              let t1_pick = List.find_opt dangerous_t1 t2.in_conflicts in
+              let record ~victim ~reason ~t1 =
+                (* The committer is T3 and wins the race by definition, so
+                   the commit-ordering condition holds trivially; only a
+                   conservative structure with no identified T1 degrades to
+                   the plain pivot rule. *)
+                let rule =
+                  match t1 with -1, _, _ -> "pivot" | _ -> "commit-ordering"
+                in
+                record_dangerous t ~victim ~reason ~rule ~t1 ~t2:(t2.xid, -1)
+                  ~t3:(node.xid, -1)
+              in
+              let t1_pick_fields =
+                match t1_pick with Some n -> t1_fields n | None -> (-1, -1, false)
+              in
               if t2.status = Prepared then begin
                 (* Cannot abort a prepared pivot (§7.1): fall back to T1. *)
                 let t1s = List.filter dangerous_t1 t2.in_conflicts in
                 let abortable_t1s =
                   List.filter (fun t1 -> t1 != node && t1.status = Active) t1s
                 in
-                if t1s = [] || List.length abortable_t1s < List.length t1s then
+                if t1s = [] || List.length abortable_t1s < List.length t1s then begin
                   (* Conservative flag, the committer itself, or a prepared
                      T1: no way to break the structure by dooming — the
                      committer must give way. *)
+                  record ~victim:node.xid
+                    ~reason:"dangerous structure with prepared pivot"
+                    ~t1:t1_pick_fields;
                   fail t node "dangerous structure with prepared pivot"
+                end
                 else
                   List.iter
-                    (doom ~reason:"dangerous structure with prepared pivot" t)
+                    (fun t1 ->
+                      record ~victim:t1.xid
+                        ~reason:"dangerous structure with prepared pivot"
+                        ~t1:(t1_fields t1);
+                      doom ~reason:"dangerous structure with prepared pivot" t t1)
                     abortable_t1s
               end
-              else doom t t2
+              else begin
+                record ~victim:t2.xid ~reason:"doomed by first committer"
+                  ~t1:t1_pick_fields;
+                doom t t2
+              end
+            end
           end)
     node.in_conflicts
 

@@ -53,6 +53,9 @@ type commit_record = {
   wal_cseq : int;
   wal_ops : wal_op list;
   wal_safe_point : bool;
+  wal_span : Obs.span_ctx option;
+      (** trace context of the origin commit span, so a replica's apply
+          span can be parented across the network *)
 }
 
 type config = {
@@ -143,6 +146,10 @@ and txn = {
   mutable savepoints : (string * int * int) list;
       (** name, undo length, wal length — newest first *)
   mutable subdepth : int;
+  span : Obs.span option;
+      (** the span engine operations hang their child spans on — supplied
+          by the client (retry loop) or opened at begin when absent *)
+  span_owned : bool;  (** the engine opened [span] and must finish it *)
   mutable write_waiting_for : Heap.xid option;
       (** the transaction whose tuple write lock this one is waiting on *)
   mutable crashed : bool;
@@ -338,7 +345,22 @@ let snapshot_cseq txn = txn.snapshot.Snapshot.horizon
 let snapshot_is_safe txn =
   match txn.sxact with Some node -> Ssi.is_safe node | None -> false
 
-let make_txn db ~iso ~ro ~xid ~snapshot ~sxact =
+let make_txn db ~iso ~ro ~xid ~snapshot ~sxact ~span =
+  (* Without a client-supplied span the transaction roots its own trace,
+     so standalone [with_txn] users still get a complete tree. *)
+  let span, span_owned =
+    match span with
+    | Some s -> (Some s, false)
+    | None ->
+        ( Some
+            (Obs.Span.start db.obs "txn"
+               ~attrs:
+                 [
+                   ("xid", Obs.I xid);
+                   ("iso", Obs.S (Format.asprintf "%a" pp_isolation iso));
+                 ]),
+          true )
+  in
   let txn =
     {
       db;
@@ -353,15 +375,24 @@ let make_txn db ~iso ~ro ~xid ~snapshot ~sxact =
       wal = [];
       savepoints = [];
       subdepth = 0;
+      span;
+      span_owned;
       write_waiting_for = None;
       crashed = false;
       commit_wq = Waitq.create ();
     }
   in
+  (match span with
+  | Some s ->
+      Obs.Span.add s "xid" (Obs.I xid);
+      (* Layers that know the transaction only by xid (SSI manager,
+         predicate locks, lock manager) attach their events here. *)
+      Obs.set_owner_span db.obs xid s
+  | None -> ());
   Hashtbl.add db.active xid txn;
   txn
 
-let rec begin_deferrable db =
+let rec begin_deferrable ?span db =
   (* §4.3: acquire a snapshot but block until it is known safe; on an
      unsafe verdict, throw the snapshot away and retry with a new one. *)
   let xid = Clog.new_xid db.clog in
@@ -374,20 +405,20 @@ let rec begin_deferrable db =
     db.sched.suspend (Ssi.safety_waitq node)
   done;
   if Ssi.is_safe node then
-    make_txn db ~iso:Serializable ~ro:true ~xid ~snapshot ~sxact:(Some node)
+    make_txn db ~iso:Serializable ~ro:true ~xid ~snapshot ~sxact:(Some node) ~span
   else begin
     Ssi.aborted db.ssi_mgr node;
     Clog.abort db.clog xid;
-    begin_deferrable db
+    begin_deferrable ?span db
   end
 
-let begin_txn ?(isolation = Serializable) ?(read_only = false) ?(deferrable = false) db =
+let begin_txn ?(isolation = Serializable) ?(read_only = false) ?(deferrable = false) ?span db =
   if deferrable then begin
     if not (read_only && isolation = Serializable) then
       invalid_arg "Engine.begin_txn: DEFERRABLE requires READ ONLY SERIALIZABLE";
     if not db.cfg.ssi.Ssi.read_only_opt then
       invalid_arg "Engine.begin_txn: DEFERRABLE requires the read-only optimizations";
-    begin_deferrable db
+    begin_deferrable ?span db
   end
   else begin
     let xid = Clog.new_xid db.clog in
@@ -400,12 +431,12 @@ let begin_txn ?(isolation = Serializable) ?(read_only = false) ?(deferrable = fa
                ~read_only ~deferrable:false)
       | Read_committed | Repeatable_read | Serializable_2pl -> None
     in
-    make_txn db ~iso:isolation ~ro:read_only ~xid ~snapshot ~sxact
+    make_txn db ~iso:isolation ~ro:read_only ~xid ~snapshot ~sxact ~span
   end
 
-let begin_txn ?isolation ?read_only ?deferrable db =
+let begin_txn ?isolation ?read_only ?deferrable ?span db =
   Obs.incr db.metrics.m_begins;
-  begin_txn ?isolation ?read_only ?deferrable db
+  begin_txn ?isolation ?read_only ?deferrable ?span db
 
 (* The SSI hooks are live only while the transaction is tracked: plain
    snapshot-isolation transactions and safe-snapshot read-only transactions
@@ -1013,21 +1044,50 @@ let timed db h f =
       Obs.observe h (db.sched.now () -. t0);
       raise e
 
-let read txn ~table ~key = timed txn.db txn.db.metrics.h_read (fun () -> read txn ~table ~key)
+(* Each data operation is also a child span of the transaction's span, so
+   lock waits and I/O stalls show up as gaps inside the right interval. *)
+let op_timed txn h name f =
+  let db = txn.db in
+  let sp =
+    match txn.span with
+    | Some parent -> Some (Obs.Span.start db.obs ~parent ("op." ^ name))
+    | None -> None
+  in
+  let t0 = db.sched.now () in
+  let close ok =
+    Obs.observe h (db.sched.now () -. t0);
+    match sp with
+    | Some s ->
+        if not ok then Obs.Span.add s "error" (Obs.B true);
+        Obs.Span.finish db.obs s
+    | None -> ()
+  in
+  match f () with
+  | r ->
+      close true;
+      r
+  | exception e ->
+      close false;
+      raise e
+
+let read txn ~table ~key =
+  op_timed txn txn.db.metrics.h_read "read" (fun () -> read txn ~table ~key)
 
 let index_scan txn ~table ~index ~lo ~hi =
-  timed txn.db txn.db.metrics.h_index_scan (fun () -> index_scan txn ~table ~index ~lo ~hi)
+  op_timed txn txn.db.metrics.h_index_scan "index_scan" (fun () ->
+      index_scan txn ~table ~index ~lo ~hi)
 
 let seq_scan txn ~table ?filter () =
-  timed txn.db txn.db.metrics.h_seq_scan (fun () -> seq_scan txn ~table ?filter ())
+  op_timed txn txn.db.metrics.h_seq_scan "seq_scan" (fun () -> seq_scan txn ~table ?filter ())
 
-let insert txn ~table row = timed txn.db txn.db.metrics.h_insert (fun () -> insert txn ~table row)
+let insert txn ~table row =
+  op_timed txn txn.db.metrics.h_insert "insert" (fun () -> insert txn ~table row)
 
 let update txn ~table ~key ~f =
-  timed txn.db txn.db.metrics.h_update (fun () -> update txn ~table ~key ~f)
+  op_timed txn txn.db.metrics.h_update "update" (fun () -> update txn ~table ~key ~f)
 
 let delete txn ~table ~key =
-  timed txn.db txn.db.metrics.h_delete (fun () -> delete txn ~table ~key)
+  op_timed txn txn.db.metrics.h_delete "delete" (fun () -> delete txn ~table ~key)
 
 (* ---- Commit / abort -------------------------------------------------------------------- *)
 
@@ -1036,6 +1096,14 @@ let finish_txn txn =
   txn.prepared_gid <- None;
   Hashtbl.remove txn.db.active txn.txn_xid;
   Lockmgr.release_all txn.db.locks ~owner:txn.txn_xid;
+  (* Drop the xid->span rendezvous (only if it is still ours: engines
+     sharing a registry can reuse xids) and close an engine-opened span. *)
+  (match (txn.span, Obs.owner_span txn.db.obs txn.txn_xid) with
+  | Some s, Some s' when s == s' -> Obs.clear_owner_span txn.db.obs txn.txn_xid
+  | _ -> ());
+  (match txn.span with
+  | Some s when txn.span_owned -> Obs.Span.finish txn.db.obs s
+  | _ -> ());
   Waitq.wake_all txn.commit_wq
 
 let serializable_rw_active db =
@@ -1043,7 +1111,7 @@ let serializable_rw_active db =
     (fun _ t acc -> acc || (t.iso = Serializable && (not t.ro) && not t.finished))
     db.active false
 
-let emit_wal db txn cseq =
+let emit_wal db txn cseq ~span =
   match db.on_commit with
   | [] -> None
   | hooks ->
@@ -1053,6 +1121,7 @@ let emit_wal db txn cseq =
           wal_cseq = cseq;
           wal_ops = List.rev txn.wal;
           wal_safe_point = not (serializable_rw_active db);
+          wal_span = span;
         }
       in
       List.iter (fun hook -> hook record) hooks;
@@ -1070,6 +1139,7 @@ let abort txn =
     (match txn.prepared_gid with
     | Some gid -> Hashtbl.remove db.prepared_by_gid gid
     | None -> ());
+    (match txn.span with Some s -> Obs.Span.add s "outcome" (Obs.S "aborted") | None -> ());
     finish_txn txn;
     Obs.incr db.metrics.m_aborts;
     Obs.trace db.obs "txn.abort" ~fields:[ ("xid", Obs.I txn.txn_xid) ]
@@ -1077,6 +1147,22 @@ let abort txn =
 
 let commit txn =
   let db = txn.db in
+  (* The commit span covers precommit through quorum wait; its context is
+     stamped into the WAL record so replica apply spans parent to it. *)
+  let cspan =
+    match txn.span with
+    | Some parent ->
+        Some (Obs.Span.start db.obs ~parent "txn.commit" ~attrs:[ ("xid", Obs.I txn.txn_xid) ])
+    | None -> None
+  in
+  let close_span ?cseq ~ok () =
+    match cspan with
+    | None -> ()
+    | Some s ->
+        (match cseq with Some c -> Obs.Span.add s "cseq" (Obs.I c) | None -> ());
+        if not ok then Obs.Span.add s "error" (Obs.B true);
+        Obs.Span.finish db.obs s
+  in
   (* A transaction doomed by another's conflict resolution fails here — and
      must be rolled back before the failure is surfaced, or its write locks
      would be orphaned. *)
@@ -1089,22 +1175,25 @@ let commit txn =
      (match db.commit_gate with Some gate -> gate () | None -> ());
      match txn.sxact with Some node -> Ssi.precommit db.ssi_mgr node | None -> ()
    with (Serialization_failure _ | Transient_fault _) as e ->
+     close_span ~ok:false ();
      abort txn;
      raise e);
   let cseq = Clog.commit db.clog txn.txn_xid in
   trace db "x%d commit cseq=%d" txn.txn_xid cseq;
   (match txn.sxact with Some node -> Ssi.committed db.ssi_mgr node ~commit_cseq:cseq | None -> ());
+  (match txn.span with Some s -> Obs.Span.add s "outcome" (Obs.S "committed") | None -> ());
   finish_txn txn;
   Obs.incr db.metrics.m_commits;
   Obs.trace db.obs "txn.commit" ~fields:[ ("xid", Obs.I txn.txn_xid); ("cseq", Obs.I cseq) ];
-  let record = emit_wal db txn cseq in
+  let record = emit_wal db txn cseq ~span:(Option.map Obs.Span.ctx cspan) in
   charge_io db db.cfg.costs.io_commit;
   (* Quorum-synchronous replication: the commit is locally durable and
      visible; the acknowledgment to the client may still be held until
      enough replicas confirm (or the hold deadline passes). *)
-  match (db.commit_wait, record) with
+  (match (db.commit_wait, record) with
   | Some wait, Some r -> wait r
-  | _ -> ()
+  | _ -> ());
+  close_span ~cseq ~ok:true ()
 
 (* Commit latency includes the pre-commit SSI check, the commit-record
    I/O charge, and any WAL-hook work. *)
@@ -1133,15 +1222,29 @@ let prepared_txn db gid =
 let commit_prepared db ~gid =
   let txn = prepared_txn db gid in
   Hashtbl.remove db.prepared_by_gid gid;
+  let cspan =
+    match txn.span with
+    | Some parent ->
+        Some
+          (Obs.Span.start db.obs ~parent "txn.commit"
+             ~attrs:[ ("xid", Obs.I txn.txn_xid); ("gid", Obs.S gid) ])
+    | None -> None
+  in
   let cseq = Clog.commit db.clog txn.txn_xid in
   (match txn.sxact with Some node -> Ssi.committed db.ssi_mgr node ~commit_cseq:cseq | None -> ());
+  (match txn.span with Some s -> Obs.Span.add s "outcome" (Obs.S "committed") | None -> ());
   finish_txn txn;
   Obs.incr db.metrics.m_commits;
   Obs.trace db.obs "txn.commit"
     ~fields:[ ("xid", Obs.I txn.txn_xid); ("cseq", Obs.I cseq); ("gid", Obs.S gid) ];
-  let record = emit_wal db txn cseq in
+  let record = emit_wal db txn cseq ~span:(Option.map Obs.Span.ctx cspan) in
   charge_io db db.cfg.costs.io_commit;
-  match (db.commit_wait, record) with Some wait, Some r -> wait r | _ -> ()
+  (match (db.commit_wait, record) with Some wait, Some r -> wait r | _ -> ());
+  match cspan with
+  | Some s ->
+      Obs.Span.add s "cseq" (Obs.I cseq);
+      Obs.Span.finish db.obs s
+  | None -> ()
 
 let rollback_prepared db ~gid =
   let txn = prepared_txn db gid in
@@ -1170,6 +1273,14 @@ let crash_recover db =
       txn.crashed <- true;
       Hashtbl.remove db.active txn.txn_xid;
       Lockmgr.release_all db.locks ~owner:txn.txn_xid;
+      (match (txn.span, Obs.owner_span db.obs txn.txn_xid) with
+      | Some s, Some s' when s == s' -> Obs.clear_owner_span db.obs txn.txn_xid
+      | _ -> ());
+      (match txn.span with
+      | Some s ->
+          Obs.Span.add s "outcome" (Obs.S "crashed");
+          if txn.span_owned then Obs.Span.finish db.obs s
+      | None -> ());
       Waitq.wake_all txn.commit_wq)
     in_flight;
   Ssi.recover db.ssi_mgr;
@@ -1178,8 +1289,8 @@ let crash_recover db =
 
 (* ---- Helpers -------------------------------------------------------------------------------- *)
 
-let with_txn ?isolation ?read_only ?deferrable db f =
-  let txn = begin_txn ?isolation ?read_only ?deferrable db in
+let with_txn ?isolation ?read_only ?deferrable ?span db f =
+  let txn = begin_txn ?isolation ?read_only ?deferrable ?span db in
   match f txn with
   | result ->
       (* [f] may return without touching the engine again after a crash
@@ -1215,7 +1326,8 @@ let default_retry_policy =
       (function Serialization_failure _ | Transient_fault _ -> true | _ -> false);
   }
 
-let retry_with ?isolation ?read_only ?deferrable ?(policy = default_retry_policy) ?rng db f =
+let retry_with ?isolation ?read_only ?deferrable ?(policy = default_retry_policy) ?rng ?span db
+    f =
   let started = db.sched.now () in
   (* Exponential backoff for the (n+1)-th attempt after [n] failures, with
      seeded jitter spreading retries in [b*(1-jitter), b]. *)
@@ -1233,9 +1345,31 @@ let retry_with ?isolation ?read_only ?deferrable ?(policy = default_retry_policy
     end
   in
   let rec attempt n =
-    match with_txn ?isolation ?read_only ?deferrable db f with
-    | result -> result
+    (* With a client root span, each attempt is its own child span: a retry
+       storm shows up as a fan of failed attempt spans under one root. *)
+    let asp =
+      match span with
+      | Some parent ->
+          Some (Obs.Span.start db.obs ~parent "txn.attempt" ~attrs:[ ("attempt", Obs.I n) ])
+      | None -> None
+    in
+    let close_attempt outcome =
+      match asp with
+      | Some s ->
+          Obs.Span.add s "outcome" (Obs.S outcome);
+          Obs.Span.finish db.obs s
+      | None -> ()
+    in
+    match with_txn ?isolation ?read_only ?deferrable ?span:asp db f with
+    | result ->
+        close_attempt "committed";
+        result
     | exception e when policy.retryable e ->
+        close_attempt
+          (match e with
+          | Serialization_failure _ -> "serialization_failure"
+          | Transient_fault _ -> "fault"
+          | _ -> "error");
         (match e with
         | Serialization_failure { xid; reason } ->
             Obs.incr db.metrics.m_serialization_failures;
@@ -1258,6 +1392,9 @@ let retry_with ?isolation ?read_only ?deferrable ?(policy = default_retry_policy
           if b > 0. then db.sched.charge b;
           attempt (n + 1)
         end
+    | exception e ->
+        close_attempt "error";
+        raise e
   in
   attempt 1
 

@@ -76,6 +76,10 @@ type commit_record = {
       (** No read/write serializable transaction was active when this
           commit completed: the post-commit state is a safe snapshot
           (used by replicas, §7.2). *)
+  wal_span : Ssi_obs.Obs.span_ctx option;
+      (** Trace context of the origin commit span.  Shipped inside the
+          record so a replica's apply span is parented across the
+          network to the commit that produced it. *)
 }
 
 type config = {
@@ -157,10 +161,17 @@ val recluster : t -> table:string -> unit
 (** {1 Transactions} *)
 
 val begin_txn :
-  ?isolation:isolation -> ?read_only:bool -> ?deferrable:bool -> t -> txn
+  ?isolation:isolation -> ?read_only:bool -> ?deferrable:bool ->
+  ?span:Ssi_obs.Obs.span -> t -> txn
 (** Default isolation is [Serializable].  [~deferrable:true] (with
     [~read_only:true], serializable) blocks until a safe snapshot is
-    available (§4.3); it requires a scheduler. *)
+    available (§4.3); it requires a scheduler.
+
+    [span] is the observability span engine operations report under
+    (each data operation, the commit and any lock wait become child
+    spans of it, and the SSI/lock layers attach conflict events to it);
+    when omitted the engine opens — and finishes — a root [txn] span of
+    its own, so every transaction belongs to some trace. *)
 
 val commit : txn -> unit
 (** May raise {!Serialization_failure} (the transaction is then rolled
@@ -237,8 +248,10 @@ val row_count : txn -> table:string -> int
 (** {1 Helpers} *)
 
 val with_txn :
-  ?isolation:isolation -> ?read_only:bool -> ?deferrable:bool -> t -> (txn -> 'a) -> 'a
-(** Run, commit on return, abort on exception. *)
+  ?isolation:isolation -> ?read_only:bool -> ?deferrable:bool ->
+  ?span:Ssi_obs.Obs.span -> t -> (txn -> 'a) -> 'a
+(** Run, commit on return, abort on exception.  [span] as in
+    {!begin_txn}. *)
 
 (** Client-side resilience policy for {!retry_with}: how many times to
     retry, how long to back off between attempts (charged as virtual time
@@ -267,11 +280,16 @@ val default_retry_policy : retry_policy
 
 val retry_with :
   ?isolation:isolation -> ?read_only:bool -> ?deferrable:bool ->
-  ?policy:retry_policy -> ?rng:Ssi_util.Rng.t -> t -> (txn -> 'a) -> 'a
+  ?policy:retry_policy -> ?rng:Ssi_util.Rng.t -> ?span:Ssi_obs.Obs.span ->
+  t -> (txn -> 'a) -> 'a
 (** Like {!with_txn} but governed by [policy]: retryable failures restart
     [f] in a fresh transaction after the policy's backoff; the last failure
     is re-raised once attempts or the deadline run out (counted in
-    [stats.giveups]).  [rng] seeds the backoff jitter. *)
+    [stats.giveups]).  [rng] seeds the backoff jitter.
+
+    [span] is the logical transaction's root span (it survives retries);
+    each attempt then runs under its own [txn.attempt] child span, so a
+    retry storm is visible as a fan of failed attempts under one root. *)
 
 val retry :
   ?isolation:isolation -> ?read_only:bool -> ?deferrable:bool -> ?max_attempts:int ->

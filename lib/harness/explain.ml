@@ -1,0 +1,166 @@
+module Obs = Ssi_obs.Obs
+
+type structure = {
+  seq : int;
+  ts : float;
+  victim : int;
+  reason : string;
+  rule : string;
+  t1 : int;
+  t1_cseq : int;
+  t1_ro : bool;
+  t2 : int;
+  t2_cseq : int;
+  t3 : int;
+  t3_cseq : int;
+}
+
+type edge = {
+  e_seq : int;
+  reader : int;
+  writer : int;
+  reader_cseq : int;
+  writer_cseq : int;
+  summarized : bool;
+}
+
+(* Every retained event, from the trace ring and from the per-span
+   attachment lists, deduplicated by seq (most events live in both). *)
+let all_events obs =
+  let seen = Hashtbl.create 256 in
+  let acc = ref [] in
+  let add (ev : Obs.event) =
+    if not (Hashtbl.mem seen ev.Obs.seq) then begin
+      Hashtbl.add seen ev.Obs.seq ();
+      acc := ev :: !acc
+    end
+  in
+  List.iter add (Obs.events obs);
+  List.iter (fun sp -> List.iter add (Obs.Span.events sp)) (Obs.Spans.all obs);
+  List.sort (fun (a : Obs.event) b -> compare a.Obs.seq b.Obs.seq) !acc
+
+let int_field ?(default = -1) (ev : Obs.event) key =
+  match List.assoc_opt key ev.Obs.fields with Some (Obs.I n) -> n | _ -> default
+
+let str_field ?(default = "?") (ev : Obs.event) key =
+  match List.assoc_opt key ev.Obs.fields with Some (Obs.S s) -> s | _ -> default
+
+let bool_field (ev : Obs.event) key =
+  match List.assoc_opt key ev.Obs.fields with Some (Obs.B b) -> b | _ -> false
+
+let structure_of_event (ev : Obs.event) =
+  if ev.Obs.name <> "ssi.dangerous" then None
+  else
+    Some
+      {
+        seq = ev.Obs.seq;
+        ts = ev.Obs.ts;
+        victim = int_field ev "victim";
+        reason = str_field ev "reason";
+        rule = str_field ev "rule";
+        t1 = int_field ev "t1";
+        t1_cseq = int_field ev "t1_cseq";
+        t1_ro = bool_field ev "t1_ro";
+        t2 = int_field ev "t2";
+        t2_cseq = int_field ev "t2_cseq";
+        t3 = int_field ev "t3";
+        t3_cseq = int_field ev "t3_cseq";
+      }
+
+let edge_of_event (ev : Obs.event) =
+  if ev.Obs.name <> "ssi.rw_edge" then None
+  else
+    Some
+      {
+        e_seq = ev.Obs.seq;
+        reader = int_field ev "reader";
+        writer = int_field ev "writer";
+        reader_cseq = int_field ev "reader_cseq";
+        writer_cseq = int_field ev "writer_cseq";
+        summarized = bool_field ev "summarized";
+      }
+
+let structures obs = List.filter_map structure_of_event (all_events obs)
+let edges obs = List.filter_map edge_of_event (all_events obs)
+
+(* Transactions the SSI manager actually killed: dooms of a concurrent
+   victim and serialization failures raised at the actor, as recorded by
+   [ssi.doom] / [ssi.fail] events. *)
+let doomed obs =
+  List.filter_map
+    (fun (ev : Obs.event) ->
+      match ev.Obs.name with
+      | "ssi.doom" | "ssi.fail" -> Some (int_field ev "xid", str_field ev "reason")
+      | _ -> None)
+    (all_events obs)
+
+let victims obs =
+  List.sort_uniq compare (List.map (fun s -> s.victim) (structures obs))
+
+let for_victim obs xid = List.filter (fun s -> s.victim = xid) (structures obs)
+
+(* A structure is complete when all three transactions are identified and
+   the firing rule is known — i.e. nothing about it was lost to
+   summarization, crash recovery or table overwrites. *)
+let complete s = s.t1 >= 0 && s.t2 >= 0 && s.t3 >= 0 && s.rule <> "?"
+
+let node xid cseq ro =
+  let id = if xid >= 0 then Printf.sprintf "x%d" xid else "x?" in
+  let notes =
+    (if cseq >= 0 then [ Printf.sprintf "cseq=%d" cseq ] else [])
+    @ if ro then [ "read-only" ] else []
+  in
+  match notes with
+  | [] -> id
+  | ns -> Printf.sprintf "%s (%s)" id (String.concat ", " ns)
+
+let render_structure s =
+  let role =
+    if s.victim = s.t2 then "pivot T2"
+    else if s.victim = s.t1 then "T1"
+    else if s.victim = s.t3 then "T3, first committer gave way"
+    else "actor"
+  in
+  Printf.sprintf "T1 %s --rw--> T2 %s --rw--> T3 %s\n    rule:   %s\n    reason: %s (victim: %s)"
+    (node s.t1 s.t1_cseq s.t1_ro)
+    (node s.t2 s.t2_cseq false)
+    (node s.t3 s.t3_cseq false)
+    s.rule s.reason role
+
+let render obs =
+  let buf = Buffer.create 1024 in
+  let structures = structures obs in
+  let doomed = doomed obs in
+  Buffer.add_string buf
+    (Printf.sprintf "%d SSI victim(s), %d dangerous structure(s) retained\n"
+       (List.length doomed) (List.length structures));
+  let trace_dropped = Obs.get_counter obs "obs.trace.dropped" in
+  let span_dropped = Obs.get_counter obs "obs.spans.dropped" in
+  if trace_dropped > 0 || span_dropped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "warning: evidence may be incomplete (%d trace events and %d spans overwritten)\n"
+         trace_dropped span_dropped);
+  let by_victim = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace by_victim s.victim
+        (s :: (match Hashtbl.find_opt by_victim s.victim with Some l -> l | None -> [])))
+    structures;
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (xid, reason) ->
+      if not (Hashtbl.mem seen xid) then begin
+        Hashtbl.add seen xid ();
+        Buffer.add_string buf (Printf.sprintf "\nvictim x%d: %s\n" xid reason);
+        match Hashtbl.find_opt by_victim xid with
+        | None ->
+            Buffer.add_string buf
+              "  (no dangerous structure retained for this victim)\n"
+        | Some ss ->
+            List.iter
+              (fun s -> Buffer.add_string buf (Printf.sprintf "  %s\n" (render_structure s)))
+              (List.rev ss)
+      end)
+    doomed;
+  Buffer.contents buf

@@ -74,6 +74,7 @@ type t = {
   table : lock Target_table.t;
   owned : (Heap.xid, target list ref) Hashtbl.t;
   sched : Waitq.scheduler;
+  obs : Obs.t;
   mutable waiting : int;
   mutable tracer : (string -> unit) option;
   m_waits : Obs.counter;
@@ -85,6 +86,7 @@ let create ?(obs = Obs.create ()) sched =
     table = Target_table.create 512;
     owned = Hashtbl.create 64;
     sched;
+    obs;
     waiting = 0;
     tracer = None;
     m_waits = Obs.counter obs "lockmgr.waits";
@@ -242,12 +244,35 @@ let acquire t ~owner target mode =
     trace t "lock x%d WAIT" owner;
     if not req.granted then begin
       Obs.incr t.m_waits;
+      (* The wait interval is a child span of the owning transaction's span
+         (owner rendezvous by xid), so blocking shows up in trace trees. *)
+      let wsp =
+        match Obs.owner_span t.obs owner with
+        | Some parent ->
+            Some
+              (Obs.Span.start t.obs ~parent
+                 ~attrs:
+                   [
+                     ("target", Obs.S (Format.asprintf "%a" pp_target target));
+                     ("mode", Obs.S (Format.asprintf "%a" pp_mode mode));
+                   ]
+                 "lockmgr.wait")
+        | None -> None
+      in
+      let close ?fate () =
+        match wsp with
+        | Some s ->
+            (match fate with Some f -> Obs.Span.add s f (Obs.B true) | None -> ());
+            Obs.Span.finish t.obs s
+        | None -> ()
+      in
       (match find_cycle t owner with
       | Some cycle ->
           remove_request lock req;
           t.waiting <- t.waiting - 1;
           grant_waiters t lock;
           Obs.incr t.m_deadlocks;
+          close ~fate:"deadlock" ();
           raise (Deadlock { victim = owner; cycle })
       | None -> ());
       (try t.sched.suspend req.signal
@@ -257,8 +282,10 @@ let acquire t ~owner target mode =
            t.waiting <- t.waiting - 1;
            grant_waiters t lock
          end;
+         close ~fate:"interrupted" ();
          raise e);
-      assert req.granted
+      assert req.granted;
+      close ()
     end;
     note_owned t owner target
   end

@@ -18,6 +18,7 @@ type 'msg node = { name : string; mutable handler : src:string -> 'msg -> unit }
 
 type 'msg t = {
   rng : Rng.t;
+  obs : Obs.t;
   mutable node_order : string list;  (* registration order, reversed *)
   node_by_name : (string, 'msg node) Hashtbl.t;
   links : (string * string, link) Hashtbl.t;
@@ -38,6 +39,7 @@ let create ?obs ?(default_link = default_link) ~seed () =
   let obs = match obs with Some o -> o | None -> Obs.create () in
   {
     rng = Rng.make (Hashtbl.hash (seed, "net"));
+    obs;
     node_order = [];
     node_by_name = Hashtbl.create 8;
     links = Hashtbl.create 16;
@@ -102,17 +104,42 @@ let heal_all t = Hashtbl.reset t.cut
 (* Each accepted copy is scheduled as its own simulation process at
    [now + delay + jitter (+ reorder detour)]; the priority queue's (time,
    seq) order makes concurrent deliveries deterministic. *)
-let send t ~src ~dst msg =
+let send t ?span_ctx ~src ~dst msg =
   ignore (node t src);
   let receiver = node t dst in
   Obs.incr t.c_sent;
-  if partitioned t src dst then Obs.incr t.c_partition_drops
+  (* When the sender hands over a span context the hop itself becomes a
+     span, parented across the wire: dropped and partitioned messages
+     leave a finished span saying so, so lost causality is visible. *)
+  let sp =
+    match span_ctx with
+    | Some ctx ->
+        Some
+          (Obs.Span.start t.obs ~ctx
+             ~attrs:[ ("src", Obs.S src); ("dst", Obs.S dst) ]
+             "net.msg")
+    | None -> None
+  in
+  let close ?fate () =
+    match sp with
+    | Some s ->
+        (match fate with Some f -> Obs.Span.add s f (Obs.B true) | None -> ());
+        Obs.Span.finish t.obs s
+    | None -> ()
+  in
+  if partitioned t src dst then begin
+    Obs.incr t.c_partition_drops;
+    close ~fate:"partitioned" ()
+  end
   else begin
     let l = link_of t ~src ~dst in
     let drop = Float.max l.drop t.chaos_drop in
     let dup = Float.max l.duplicate t.chaos_dup in
     let reorder = Float.max l.reorder t.chaos_reorder in
-    if drop > 0. && Rng.chance t.rng drop then Obs.incr t.c_dropped
+    if drop > 0. && Rng.chance t.rng drop then begin
+      Obs.incr t.c_dropped;
+      close ~fate:"dropped" ()
+    end
     else begin
       let copies = if dup > 0. && Rng.chance t.rng dup then 2 else 1 in
       if copies = 2 then Obs.incr t.c_duplicated;
@@ -130,6 +157,7 @@ let send t ~src ~dst msg =
         in
         Sim.at ~after:latency (fun () ->
             Obs.incr t.c_delivered;
+            close ();
             receiver.handler ~src msg)
       done
     end

@@ -77,11 +77,18 @@ val rejoin : 'msg t -> string -> unit
 val heal_all : 'msg t -> unit
 val partitioned : 'msg t -> string -> string -> bool
 
-val send : 'msg t -> src:string -> dst:string -> 'msg -> unit
+val send :
+  'msg t -> ?span_ctx:Ssi_obs.Obs.span_ctx -> src:string -> dst:string -> 'msg -> unit
 (** Hand a message to the network: it is delivered to [dst]'s handler
     after the link's (possibly adversarial) treatment, or never.  Must be
     called from inside a simulation.  Raises [Invalid_argument] when
-    either endpoint is unknown. *)
+    either endpoint is unknown.
+
+    When [?span_ctx] is given, the hop is recorded as a [net.msg] span
+    parented under that context (in the registry passed at {!create}):
+    delivered messages close the span at delivery time, while dropped and
+    partitioned ones close it immediately with a [dropped]/[partitioned]
+    attribute — lost causality is never silent. *)
 
 val stats : 'msg t -> (string * int) list
 (** The [net.*] counters as an assoc list (name, value), sorted. *)

@@ -1,7 +1,11 @@
 open Ssi_util
 
 type counter = { c_name : string; mutable c : int }
-type gauge = { g_name : string; mutable g : float }
+
+(* [g_set] distinguishes "created but never written" from a real 0.0:
+   dump/render skip unset gauges and [get_gauge] reports them as [nan]
+   instead of silently yielding 0. *)
+type gauge = { g_name : string; mutable g : float; mutable g_set : bool }
 type histogram = { h_name : string; h_stats : Stats.t }
 
 type metric = Counter of counter | Gauge of gauge | Hist of histogram
@@ -15,25 +19,84 @@ type event = {
   fields : (string * field) list;
 }
 
+type span_ctx = { trace_id : int; span_id : int }
+
+type span = {
+  sp_trace : int;
+  sp_id : int;
+  sp_parent : int option;
+  sp_name : string;
+  sp_start : float;
+  mutable sp_end : float;  (* nan while open *)
+  mutable sp_open : bool;
+  mutable sp_attrs : (string * field) list;  (* newest first *)
+  mutable sp_events : event list;  (* newest first, bounded *)
+  mutable sp_nevents : int;
+}
+
+(* Events attached to one span are bounded separately from the ring so a
+   hot span (a seq scan taking thousands of locks) cannot grow without
+   bound; overflow is counted in [obs.spans.events_dropped]. *)
+let span_event_cap = 64
+
 type t = {
   metrics : (string, metric) Hashtbl.t;
   mutable clock : unit -> float;
+  mutable last_ts : float;  (* last successful clock reading *)
   ring : event option array;
   mutable next_seq : int;
   mutable trace_on : bool;
+  spans : span option array;  (* finished spans, bounded *)
+  mutable span_seq : int;  (* finished-span insertion index *)
+  mutable next_trace : int;
+  mutable next_span : int;
+  open_spans : (int, span) Hashtbl.t;  (* span_id -> span *)
+  owner_spans : (int, span) Hashtbl.t;  (* txn xid -> owning span *)
+  trace_dropped : counter;
+  span_dropped : counter;
+  span_events_dropped : counter;
 }
 
-let create ?(trace_capacity = 4096) () =
+let create ?(trace_capacity = 4096) ?(span_capacity = 4096) () =
   if trace_capacity <= 0 then invalid_arg "Obs.create: trace_capacity must be positive";
+  if span_capacity <= 0 then invalid_arg "Obs.create: span_capacity must be positive";
+  let metrics = Hashtbl.create 64 in
+  (* The drop counters exist from birth so truncation is visible in every
+     render, including as an explicit 0 when nothing was dropped. *)
+  let eager name =
+    let c = { c_name = name; c = 0 } in
+    Hashtbl.replace metrics name (Counter c);
+    c
+  in
   {
-    metrics = Hashtbl.create 64;
+    metrics;
     clock = (fun () -> 0.);
+    last_ts = 0.;
     ring = Array.make trace_capacity None;
     next_seq = 0;
     trace_on = true;
+    spans = Array.make span_capacity None;
+    span_seq = 0;
+    next_trace = 0;
+    next_span = 0;
+    open_spans = Hashtbl.create 64;
+    owner_spans = Hashtbl.create 64;
+    trace_dropped = eager "obs.trace.dropped";
+    span_dropped = eager "obs.spans.dropped";
+    span_events_dropped = eager "obs.spans.events_dropped";
   }
 
 let set_clock t f = t.clock <- f
+
+(* A simulation-backed clock raises once the simulation has ended; events
+   and spans recorded after that (post-run report transactions, exports)
+   freeze at the last virtual time instead of crashing the consumer. *)
+let now t =
+  match t.clock () with
+  | ts ->
+      t.last_ts <- ts;
+      ts
+  | exception _ -> t.last_ts
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                            *)
@@ -63,11 +126,14 @@ let gauge t name =
   | Some (Gauge g) -> g
   | Some m -> wrong_kind name "gauge" m
   | None ->
-      let g = { g_name = name; g = 0. } in
+      let g = { g_name = name; g = 0.; g_set = false } in
       Hashtbl.replace t.metrics name (Gauge g);
       g
 
-let set_gauge g x = g.g <- x
+let set_gauge g x =
+  g.g <- x;
+  g.g_set <- true
+
 let gauge_value g = g.g
 
 let histogram t name =
@@ -86,14 +152,16 @@ let get_counter t name =
   match Hashtbl.find_opt t.metrics name with Some (Counter c) -> c.c | _ -> 0
 
 let get_gauge t name =
-  match Hashtbl.find_opt t.metrics name with Some (Gauge g) -> g.g | _ -> nan
-
-let find_histogram t name =
-  match Hashtbl.find_opt t.metrics name with Some (Hist h) -> Some h.h_stats | _ -> None
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Gauge g) when g.g_set -> g.g
+  | _ -> nan
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                          *)
 (* ------------------------------------------------------------------ *)
+
+let find_histogram t name =
+  match Hashtbl.find_opt t.metrics name with Some (Hist h) -> Some h.h_stats | _ -> None
 
 (* A snap freezes each counter's value and each histogram's sample
    count.  Stats.t appends observations in insertion order, so the
@@ -151,13 +219,10 @@ let summarize st =
 let dump t =
   Hashtbl.fold
     (fun name m acc ->
-      let v =
-        match m with
-        | Counter c -> Counter_v c.c
-        | Gauge g -> Gauge_v g.g
-        | Hist h -> Histogram_v (summarize h.h_stats)
-      in
-      (name, v) :: acc)
+      match m with
+      | Counter c -> (name, Counter_v c.c) :: acc
+      | Gauge g -> if g.g_set then (name, Gauge_v g.g) :: acc else acc
+      | Hist h -> (name, Histogram_v (summarize h.h_stats)) :: acc)
     t.metrics []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
@@ -188,21 +253,25 @@ let render t =
 let set_tracing t on = t.trace_on <- on
 let tracing t = t.trace_on
 
+let ring_put t ev =
+  let slot = ev.seq mod Array.length t.ring in
+  (match t.ring.(slot) with Some _ -> incr t.trace_dropped | None -> ());
+  t.ring.(slot) <- Some ev
+
 let trace t ?(fields = []) name =
   if t.trace_on then begin
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
-    t.ring.(seq mod Array.length t.ring) <- Some { seq; ts = t.clock (); name; fields }
+    ring_put t { seq; ts = now t; name; fields }
   end
 
+(* Span events share the global [next_seq] ordering but may skip the ring
+   (e.g. per-lock events that would flood it), so the ring can hold any
+   subset of the sequence — reconstruct by sorting, not by position. *)
 let events t =
-  let cap = Array.length t.ring in
-  let n = Stdlib.min t.next_seq cap in
-  let first = t.next_seq - n in
-  List.init n (fun i ->
-      match t.ring.((first + i) mod cap) with
-      | Some e -> e
-      | None -> assert false)
+  Array.to_list t.ring
+  |> List.filter_map Fun.id
+  |> List.sort (fun a b -> Stdlib.compare a.seq b.seq)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -244,3 +313,151 @@ let event_to_json e =
 let events_to_jsonl t =
   events t |> List.map event_to_json |> String.concat "\n"
   |> fun s -> if s = "" then s else s ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Span = struct
+  let start t ?parent ?ctx ?(attrs = []) name =
+    let sp_trace, sp_parent =
+      match (parent, ctx) with
+      | Some p, _ -> (p.sp_trace, Some p.sp_id)
+      | None, Some c -> (c.trace_id, Some c.span_id)
+      | None, None ->
+          let tr = t.next_trace in
+          t.next_trace <- tr + 1;
+          (tr, None)
+    in
+    let sp_id = t.next_span in
+    t.next_span <- sp_id + 1;
+    let sp =
+      {
+        sp_trace;
+        sp_id;
+        sp_parent;
+        sp_name = name;
+        sp_start = now t;
+        sp_end = nan;
+        sp_open = true;
+        sp_attrs = List.rev attrs;
+        sp_events = [];
+        sp_nevents = 0;
+      }
+    in
+    Hashtbl.replace t.open_spans sp_id sp;
+    sp
+
+  let finish t sp =
+    if sp.sp_open then begin
+      sp.sp_open <- false;
+      sp.sp_end <- now t;
+      Hashtbl.remove t.open_spans sp.sp_id;
+      let slot = t.span_seq mod Array.length t.spans in
+      (match t.spans.(slot) with Some _ -> incr t.span_dropped | None -> ());
+      t.spans.(slot) <- Some sp;
+      t.span_seq <- t.span_seq + 1
+    end
+
+  let add sp k v = sp.sp_attrs <- (k, v) :: List.remove_assoc k sp.sp_attrs
+
+  let event t ?(ring = true) ?(fields = []) sp name =
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let fields = ("span", I sp.sp_id) :: ("trace", I sp.sp_trace) :: fields in
+    let ev = { seq; ts = now t; name; fields } in
+    if ring && t.trace_on then ring_put t ev;
+    if sp.sp_nevents >= span_event_cap then incr t.span_events_dropped
+    else begin
+      sp.sp_events <- ev :: sp.sp_events;
+      sp.sp_nevents <- sp.sp_nevents + 1
+    end
+
+  let ctx sp = { trace_id = sp.sp_trace; span_id = sp.sp_id }
+  let name sp = sp.sp_name
+  let trace_id sp = sp.sp_trace
+  let id sp = sp.sp_id
+  let parent sp = sp.sp_parent
+  let start_ts sp = sp.sp_start
+  let end_ts sp = sp.sp_end
+  let is_open sp = sp.sp_open
+  let attrs sp = List.rev sp.sp_attrs
+  let events sp = List.rev sp.sp_events
+end
+
+let set_owner_span t xid sp = Hashtbl.replace t.owner_spans xid sp
+let clear_owner_span t xid = Hashtbl.remove t.owner_spans xid
+let owner_span t xid = Hashtbl.find_opt t.owner_spans xid
+
+let span_event_owner t ?ring ?fields xid name =
+  match owner_span t xid with
+  | Some sp -> Span.event t ?ring ?fields sp name
+  | None -> if ring <> Some false then trace t ?fields name
+
+module Spans = struct
+  let finished t =
+    Array.to_list t.spans
+    |> List.filter_map Fun.id
+    |> List.sort (fun a b -> Stdlib.compare a.sp_id b.sp_id)
+
+  let open_spans t =
+    Hashtbl.fold (fun _ sp acc -> sp :: acc) t.open_spans []
+    |> List.sort (fun a b -> Stdlib.compare a.sp_id b.sp_id)
+
+  let all t =
+    List.merge (fun a b -> Stdlib.compare a.sp_id b.sp_id) (finished t) (open_spans t)
+
+  let dropped t = counter_value t.span_dropped
+
+  (* Chrome trace-event format (loadable in Perfetto / chrome://tracing):
+     one complete ("X") event per span on a per-trace track (tid =
+     trace_id), one instant ("i") per attached event.  Timestamps are
+     microseconds of virtual time.  [args] carries the span identity so
+     external validators can check that every parent_id resolves. *)
+  let to_chrome_json t =
+    let buf = Buffer.create 4096 in
+    let now = now t in
+    Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    let first = ref true in
+    let sep () =
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf "\n"
+    in
+    let emit_attr (k, v) =
+      Buffer.add_string buf
+        (Printf.sprintf ",\"%s\":%s" (json_escape k) (field_to_json v))
+    in
+    let emit_span sp =
+      sep ();
+      let te = if sp.sp_open then now else sp.sp_end in
+      let dur = Stdlib.max 0. (te -. sp.sp_start) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":%d,\"args\":{\"trace_id\":%d,\"span_id\":%d"
+           (json_escape sp.sp_name)
+           (json_float (sp.sp_start *. 1e6))
+           (json_float (dur *. 1e6))
+           sp.sp_trace sp.sp_trace sp.sp_id);
+      (match sp.sp_parent with
+      | Some p -> Buffer.add_string buf (Printf.sprintf ",\"parent_id\":%d" p)
+      | None -> ());
+      if sp.sp_open then Buffer.add_string buf ",\"incomplete\":true";
+      List.iter emit_attr (Span.attrs sp);
+      Buffer.add_string buf "}}";
+      List.iter
+        (fun ev ->
+          sep ();
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":1,\"tid\":%d,\"args\":{\"seq\":%d"
+               (json_escape ev.name)
+               (json_float (ev.ts *. 1e6))
+               sp.sp_trace ev.seq);
+          List.iter emit_attr ev.fields;
+          Buffer.add_string buf "}}")
+        (Span.events sp)
+    in
+    List.iter emit_span (all t);
+    Buffer.add_string buf "\n]}\n";
+    Buffer.contents buf
+end

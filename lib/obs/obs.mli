@@ -3,7 +3,9 @@
     One process-wide-capable (but deliberately instantiable) registry of
     named metrics — counters, gauges and full-sample histograms — plus a
     bounded ring buffer of structured trace events stamped with the
-    virtual clock.  Every layer of the system (predicate locks, SSI
+    virtual clock, plus a bounded table of causal {e spans}
+    (Dapper-style: [(trace_id, span_id, parent_id)] with typed
+    attributes).  Every layer of the system (predicate locks, SSI
     manager, heavyweight lock manager, engine, replication, workload
     driver) reports through one of these registries instead of keeping a
     private stats record, so tools can snapshot, diff and render the
@@ -11,22 +13,33 @@
 
     Registries are per-engine rather than global: simulations and tests
     construct many engines and must stay deterministic and isolated.
+    All identifiers (event [seq], [trace_id], [span_id]) are sequential
+    per registry, so traces replay identically from a seed.
 
     Metric naming scheme: dotted lowercase paths,
     [<layer>.<metric>[.<detail>]] — e.g. [ssi.summarized],
     [predlock.locks.tuple], [engine.latency.read], [lockmgr.waits],
-    [replica.apply_lag], [driver.txn_latency]. *)
+    [replica.apply_lag], [driver.txn_latency].
+
+    Truncation is never silent: [obs.trace.dropped] counts trace-ring
+    overwrites, [obs.spans.dropped] counts finished-span-table
+    overwrites, and [obs.spans.events_dropped] counts events discarded
+    because one span already carries its maximum number of attached
+    events.  All three counters exist from {!create} so they always
+    appear in {!render}. *)
 
 type t
 
-val create : ?trace_capacity:int -> unit -> t
+val create : ?trace_capacity:int -> ?span_capacity:int -> unit -> t
 (** Fresh registry.  [trace_capacity] bounds the trace ring (default
-    4096 events); older events are overwritten. *)
+    4096 events); [span_capacity] bounds the finished-span table
+    (default 4096 spans); older entries are overwritten, with the
+    overwrites counted (see the drop counters above). *)
 
 val set_clock : t -> (unit -> float) -> unit
-(** Install the time source used to stamp trace events.  The engine
-    points this at the simulation's virtual clock; the default returns
-    [0.]. *)
+(** Install the time source used to stamp trace events and spans.  The
+    engine points this at the simulation's virtual clock; the default
+    returns [0.]. *)
 
 (** {1 Metrics}
 
@@ -43,7 +56,11 @@ val incr : ?by:int -> counter -> unit
 val counter_value : counter -> int
 
 val gauge : t -> string -> gauge
+
 val set_gauge : gauge -> float -> unit
+(** Write the gauge.  A gauge only becomes visible in {!dump}/{!render}
+    (and via {!get_gauge}) once it has been written at least once. *)
+
 val gauge_value : gauge -> float
 
 val histogram : t -> string -> histogram
@@ -54,7 +71,11 @@ val get_counter : t -> string -> int
 (** Counter value by name; [0] when the counter was never created. *)
 
 val get_gauge : t -> string -> float
-(** Gauge value by name; [nan] when absent. *)
+(** Gauge value by name; [nan] when the gauge is absent {e or was never
+    written with {!set_gauge}}.  Callers doing arithmetic on the result
+    must treat [nan] as "no reading" ([Float.is_nan]), not as a number —
+    never-set gauges are likewise skipped by {!dump}/{!render} rather
+    than rendered as [nan]. *)
 
 val find_histogram : t -> string -> Ssi_util.Stats.t option
 
@@ -73,7 +94,9 @@ val delta_counter : t -> snap -> string -> int
 
 val delta_values : t -> snap -> string -> float array
 (** Histogram observations recorded since the snap, in insertion
-    order; [\[||\]] if the histogram is absent. *)
+    order; [\[||\]] if the histogram is absent.  Histograms keep every
+    sample, so this is exact even when the trace ring has wrapped many
+    times in the window. *)
 
 (** {1 Rendered views} *)
 
@@ -90,7 +113,8 @@ type value = Counter_v of int | Gauge_v of float | Histogram_v of hist_summary
 
 val dump : t -> (string * value) list
 (** All metrics, sorted by name.  Histogram percentiles are
-    nearest-rank. *)
+    nearest-rank.  Gauges that were never written are omitted (see
+    {!get_gauge}). *)
 
 val render : t -> string
 (** Pretty table of every metric, suitable for [pg_ssi stats]. *)
@@ -99,7 +123,8 @@ val render : t -> string
 
     Structured events in a bounded ring, stamped with the registry
     clock.  Tracing is on by default; the ring keeps the most recent
-    [trace_capacity] events. *)
+    [trace_capacity] events and counts overwrites in
+    [obs.trace.dropped]. *)
 
 type field = I of int | F of float | S of string | B of bool
 
@@ -111,16 +136,122 @@ type event = {
 }
 
 val set_tracing : t -> bool -> unit
+(** Toggle the trace ring.  Spans are recorded regardless — only ring
+    emission is gated. *)
+
 val tracing : t -> bool
 
 val trace : t -> ?fields:(string * field) list -> string -> unit
 (** Emit one event (no-op while tracing is off). *)
 
 val events : t -> event list
-(** Retained events, oldest first. *)
+(** Retained events in emission order.  Because span events may bypass
+    the ring, retained [seq]s can have gaps. *)
 
 val event_to_json : event -> string
 (** One JSON object, fields flattened alongside [seq]/[ts]/[event]. *)
 
 val events_to_jsonl : t -> string
 (** All retained events as JSON Lines, one object per line. *)
+
+(** {1 Spans}
+
+    A span is a named interval of virtual time with a causal identity:
+    it belongs to a trace ([trace_id]), has its own [span_id], and
+    optionally a [parent_id] — either a live parent span in the same
+    process or a {!span_ctx} propagated from another node (e.g. inside a
+    WAL commit record), which is how trace trees cross the simulated
+    network.  Spans are recorded independently of {!set_tracing};
+    finished spans land in a bounded table whose overwrites are counted
+    in [obs.spans.dropped]. *)
+
+type span
+
+type span_ctx = { trace_id : int; span_id : int }
+(** The wire form of a span's identity, embeddable in protocol
+    messages.  Starting a span with [?ctx] parents it across the
+    boundary. *)
+
+module Span : sig
+  val start :
+    t ->
+    ?parent:span ->
+    ?ctx:span_ctx ->
+    ?attrs:(string * field) list ->
+    string ->
+    span
+  (** Open a span.  [?parent] (local) wins over [?ctx] (remote); with
+      neither, a fresh trace is started.  The start timestamp is taken
+      from the registry clock. *)
+
+  val finish : t -> span -> unit
+  (** Close the span and move it into the bounded finished-span table.
+      Idempotent: only the first call records anything. *)
+
+  val add : span -> string -> field -> unit
+  (** Set an attribute (replacing any previous value for the key). *)
+
+  val event : t -> ?ring:bool -> ?fields:(string * field) list -> span -> string -> unit
+  (** Attach an event to the span (bounded per span, overflow counted in
+      [obs.spans.events_dropped]) and, unless [~ring:false] or tracing
+      is off, also emit it to the trace ring.  The event always carries
+      [span]/[trace] fields identifying its owner. *)
+
+  val ctx : span -> span_ctx
+  val name : span -> string
+  val trace_id : span -> int
+  val id : span -> int
+  val parent : span -> int option
+  val start_ts : span -> float
+
+  val end_ts : span -> float
+  (** [nan] while the span is open. *)
+
+  val is_open : span -> bool
+  val attrs : span -> (string * field) list
+  val events : span -> event list
+  (** Attached events, oldest first. *)
+end
+
+(** {2 Owner rendezvous}
+
+    Layers below the engine (SSI manager, predicate locks, lock manager)
+    know transactions only by xid; the engine registers each live
+    transaction's span here so those layers can attach conflict and lock
+    events to the right span without new plumbing through every call. *)
+
+val set_owner_span : t -> int -> span -> unit
+val clear_owner_span : t -> int -> unit
+val owner_span : t -> int -> span option
+
+val span_event_owner :
+  t -> ?ring:bool -> ?fields:(string * field) list -> int -> string -> unit
+(** Attach an event to xid's registered span, falling back to a plain
+    ring {!trace} when no span is registered for the xid (unless
+    [~ring:false], in which case an ownerless event is dropped — it was
+    asked to stay out of the ring). *)
+
+(** {2 Consuming spans} *)
+
+module Spans : sig
+  val finished : t -> span list
+  (** Retained finished spans, in creation order. *)
+
+  val open_spans : t -> span list
+  (** Spans started but not yet finished, in creation order. *)
+
+  val all : t -> span list
+
+  val dropped : t -> int
+  (** Finished spans lost to table overwrites so far. *)
+
+  val to_chrome_json : t -> string
+  (** Export every retained span (and attached events) in the Chrome
+      trace-event JSON format, loadable in Perfetto or chrome://tracing:
+      spans become complete (["ph":"X"]) events with microsecond
+      timestamps on one track per trace ([tid] = [trace_id]); attached
+      events become instants.  [args] carries
+      [trace_id]/[span_id]/[parent_id] so external tools can rebuild the
+      tree; open spans are exported with [incomplete:true] and a
+      duration running to "now". *)
+end

@@ -48,6 +48,23 @@ let versions_of store key =
 
 let apply_record t (record : E.commit_record) =
   let cseq = record.E.wal_cseq in
+  (* The apply is a span parented under the origin commit's span context
+     carried in the WAL record, so a trace tree crosses the network:
+     txn.commit on the primary -> replica.apply here. *)
+  let sp =
+    match record.E.wal_span with
+    | Some ctx ->
+        Some
+          (Obs.Span.start t.rep_obs ~ctx
+             ~attrs:
+               [
+                 ("replica", Obs.S t.rep_name);
+                 ("cseq", Obs.I cseq);
+                 ("xid", Obs.I record.E.wal_xid);
+               ]
+             "replica.apply")
+    | None -> None
+  in
   List.iter
     (fun op ->
       match op with
@@ -67,7 +84,8 @@ let apply_record t (record : E.commit_record) =
     t.last_safe <- max t.last_safe cseq;
     Obs.set_gauge t.g_safe (float_of_int t.last_safe);
     Waitq.wake_all t.safe_arrived
-  end
+  end;
+  match sp with Some s -> Obs.Span.finish t.rep_obs s | None -> ()
 
 let drain t =
   while Queue.length t.pending > t.lag do

@@ -82,9 +82,15 @@ let base_record engine =
             (fun row -> ops := E.Wal_insert { table; key = row.(ki); row } :: !ops)
             (E.seq_scan txn ~table ()))
         (List.sort compare (E.table_names engine)));
-  { E.wal_xid = 0; wal_cseq = !horizon - 1; wal_ops = List.rev !ops; wal_safe_point = safe }
+  {
+    E.wal_xid = 0;
+    wal_cseq = !horizon - 1;
+    wal_ops = List.rev !ops;
+    wal_safe_point = safe;
+    wal_span = None;
+  }
 
-let send_to p ~dst m = Net.send p.p_net ~src:p.p_node ~dst m
+let send_to p ?span_ctx ~dst m = Net.send p.p_net ?span_ctx ~src:p.p_node ~dst m
 
 (* Resend history past [after]: the base snapshot when the subscriber is
    behind it (or was never seeded, [after < 0]), then every logged record. *)
@@ -99,7 +105,8 @@ let retransmit p ~dst ~after =
   in
   for cseq = start to p.p_last do
     match Hashtbl.find_opt p.p_log cseq with
-    | Some record -> send_to p ~dst (Wal { epoch = p.p_epoch; record })
+    | Some record ->
+        send_to p ?span_ctx:record.E.wal_span ~dst (Wal { epoch = p.p_epoch; record })
     | None -> ()
   done
 
@@ -144,7 +151,8 @@ let ship p record =
     List.iter
       (fun (node, _) ->
         Obs.incr p.c_wal_sent;
-        send_to p ~dst:node (Wal { epoch = p.p_epoch; record }))
+        send_to p ?span_ctx:record.E.wal_span ~dst:node
+          (Wal { epoch = p.p_epoch; record }))
       p.p_subs
 
 let quorum_wait p q (record : E.commit_record) =
@@ -184,7 +192,8 @@ let make_primary net ~node ~epoch ?quorum engine =
       p_quorum = quorum;
       p_deposed = false;
       p_log = Hashtbl.create 1024;
-      p_base = { E.wal_xid = 0; wal_cseq = 0; wal_ops = []; wal_safe_point = false };
+      p_base =
+        { E.wal_xid = 0; wal_cseq = 0; wal_ops = []; wal_safe_point = false; wal_span = None };
       p_last = 0;
       p_subs = [];
       p_acks = Waitq.create ();

@@ -40,6 +40,7 @@ type bench = {
   next_key_gaps : bool;
   retry : E.retry_policy;
   chaos : (E.t -> unit) option;
+  trace_capacity : int option;
 }
 
 let in_memory_costs =
@@ -77,6 +78,7 @@ let default_bench =
     next_key_gaps = false;
     retry = E.default_retry_policy;
     chaos = None;
+    trace_capacity = None;
   }
 
 type result = {
@@ -189,7 +191,13 @@ let run ~setup ~specs bench =
           charge_io = Some charge_io;
         }
       in
-      let db = E.create ~scheduler:Sim.scheduler ~config () in
+      let db =
+        match bench.trace_capacity with
+        | Some n ->
+            let obs = Obs.create ~trace_capacity:n ~span_capacity:n () in
+            E.create ~scheduler:Sim.scheduler ~config ~obs ()
+        | None -> E.create ~scheduler:Sim.scheduler ~config ()
+      in
       let obs = E.obs db in
       let lat = Obs.histogram obs "driver.txn_latency" in
       (* The chaos hook attaches its replica/injector before the setup
@@ -215,15 +223,33 @@ let run ~setup ~specs bench =
             while Sim.now () < t_end do
               let spec = pick_spec rng specs total_weight in
               let started = Sim.now () in
+              (* One root span per logical transaction: it survives the
+                 retry loop, whose attempts nest underneath. *)
+              let sp =
+                Obs.Span.start obs
+                  ~attrs:
+                    [
+                      ("spec", Obs.S spec.name);
+                      ("worker", Obs.I i);
+                      ("read_only", Obs.B spec.read_only);
+                    ]
+                  "txn"
+              in
+              let close outcome =
+                Obs.Span.add sp "outcome" (Obs.S outcome);
+                Obs.Span.finish obs sp
+              in
               match
                 E.retry_with ~isolation:iso ~read_only:spec.read_only ~policy:bench.retry
-                  ~rng:backoff_rng db (fun txn -> spec.body rng txn)
+                  ~rng:backoff_rng ~span:sp db (fun txn -> spec.body rng txn)
               with
               | () ->
+                  close "committed";
                   let finished = Sim.now () in
                   Obs.observe lat (finished -. started);
                   if finished >= measure_from && finished < t_end then incr committed
-              | exception (E.Serialization_failure _ | E.Transient_fault _) -> ()
+              | exception (E.Serialization_failure _ | E.Transient_fault _) ->
+                  close "gave_up"
             done)
       done;
       Sim.spawn (fun () ->

@@ -63,7 +63,17 @@ let test_dump_sorted () =
   Obs.set_gauge (Obs.gauge obs "a.gauge") 1.0;
   Obs.observe (Obs.histogram obs "c.hist") 0.5;
   let names = List.map fst (Obs.dump obs) in
-  Alcotest.(check (list string)) "name-sorted" [ "a.gauge"; "b.count"; "c.hist" ] names;
+  (* The three drop counters exist from birth alongside user metrics. *)
+  Alcotest.(check (list string)) "name-sorted"
+    [
+      "a.gauge";
+      "b.count";
+      "c.hist";
+      "obs.spans.dropped";
+      "obs.spans.events_dropped";
+      "obs.trace.dropped";
+    ]
+    names;
   (* The rendered table mentions every metric. *)
   let table = Obs.render obs in
   List.iter
@@ -92,6 +102,32 @@ let test_snap_deltas () =
   Alcotest.(check (array (float 0.))) "late histogram" [| 9.0 |]
     (Obs.delta_values obs base "late.h");
   Alcotest.(check int) "absent everywhere" 0 (Obs.delta_counter obs base "never")
+
+(* Histograms keep every sample, so window deltas must stay exact even
+   when the trace ring wraps many times inside the window.  This is the
+   contract that lets [pg_ssi workload] report per-window latency
+   percentiles without caring about ring capacity. *)
+let test_delta_values_across_ring_wrap () =
+  let obs = Obs.create ~trace_capacity:8 () in
+  let h = Obs.histogram obs "lat" in
+  Obs.observe h 0.5;
+  let base = Obs.snap obs in
+  (* 100 trace events through an 8-slot ring: 92 overwrites. *)
+  for i = 1 to 100 do
+    Obs.trace obs ~fields:[ ("i", Obs.I i) ] "tick";
+    if i mod 10 = 0 then Obs.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "ring wrapped" 92 (Obs.get_counter obs "obs.trace.dropped");
+  Alcotest.(check int) "ring holds only capacity" 8 (List.length (Obs.events obs));
+  Alcotest.(check (array (float 0.)))
+    "window values exact despite the wrap"
+    [| 10.; 20.; 30.; 40.; 50.; 60.; 70.; 80.; 90.; 100. |]
+    (Obs.delta_values obs base "lat");
+  (* A second snap nests cleanly. *)
+  let mid = Obs.snap obs in
+  Obs.observe h 7.0;
+  Alcotest.(check (array (float 0.))) "nested window" [| 7.0 |]
+    (Obs.delta_values obs mid "lat")
 
 (* ---- Trace ring ----------------------------------------------------------- *)
 
@@ -162,7 +198,73 @@ let test_percentile_nearest () =
     (Stats.percentile_nearest_of [| 1.; 10. |] 0.75);
   let st = Stats.create () in
   List.iter (Stats.add st) [ 5.; 1.; 9. ];
-  Alcotest.(check (float 0.)) "Stats.t variant" 9. (Stats.percentile_nearest st 0.95)
+  Alcotest.(check (float 0.)) "Stats.t variant" 9. (Stats.percentile_nearest st 0.95);
+  (* Stats.t variant on degenerate inputs: empty yields nan (not 0 and
+     not an exception), a single sample is every percentile. *)
+  let empty = Stats.create () in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "empty Stats.t p%.0f is nan" (100. *. p))
+        true
+        (Float.is_nan (Stats.percentile_nearest empty p)))
+    [ 0.0; 0.5; 1.0 ];
+  let one = Stats.create () in
+  Stats.add one 3.25;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "singleton Stats.t p%.0f" (100. *. p))
+        3.25 (Stats.percentile_nearest one p))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+(* ---- Drop accounting and the never-set-gauge contract ---------------------- *)
+
+let test_drop_counters () =
+  let obs = Obs.create ~trace_capacity:4 ~span_capacity:2 () in
+  (* All three drop counters exist (and render) from birth. *)
+  List.iter
+    (fun n -> Alcotest.(check int) (n ^ " starts at 0") 0 (Obs.get_counter obs n))
+    [ "obs.trace.dropped"; "obs.spans.dropped"; "obs.spans.events_dropped" ];
+  (* Span-table overwrites: 5 finished spans through 2 slots. *)
+  for i = 1 to 5 do
+    let sp = Obs.Span.start obs (Printf.sprintf "s%d" i) in
+    Obs.Span.finish obs sp
+  done;
+  Alcotest.(check int) "span drops counted" 3 (Obs.Spans.dropped obs);
+  Alcotest.(check int) "counter agrees" 3 (Obs.get_counter obs "obs.spans.dropped");
+  Alcotest.(check (list string)) "newest spans survive" [ "s4"; "s5" ]
+    (List.map Obs.Span.name (Obs.Spans.finished obs));
+  (* Per-span event bound: the 65th+ attachments are dropped and counted. *)
+  let sp = Obs.Span.start obs "busy" in
+  for i = 1 to 70 do
+    Obs.Span.event obs ~ring:false ~fields:[ ("i", Obs.I i) ] sp "e"
+  done;
+  Alcotest.(check int) "span keeps its cap" 64 (List.length (Obs.Span.events sp));
+  Alcotest.(check int) "event drops counted" 6
+    (Obs.get_counter obs "obs.spans.events_dropped");
+  Obs.Span.finish obs sp;
+  (* And the rendered table names all three, so truncation is visible. *)
+  let table = Obs.render obs in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " rendered") true (contains ~needle:n table))
+    [ "obs.trace.dropped"; "obs.spans.dropped"; "obs.spans.events_dropped" ]
+
+let test_never_set_gauge_skipped () =
+  let obs = Obs.create () in
+  let _declared_only = Obs.gauge obs "replica.lag" in
+  Obs.incr (Obs.counter obs "c");
+  Alcotest.(check bool) "get_gauge is nan before first write" true
+    (Float.is_nan (Obs.get_gauge obs "replica.lag"));
+  let names () = List.map fst (Obs.dump obs) in
+  Alcotest.(check bool) "dump omits the never-set gauge" false
+    (List.mem "replica.lag" (names ()));
+  Alcotest.(check bool) "dump keeps the counter" true (List.mem "c" (names ()));
+  Alcotest.(check bool) "render omits it too" false
+    (contains ~needle:"replica.lag" (Obs.render obs));
+  (* First write makes it visible. *)
+  Obs.set_gauge (Obs.gauge obs "replica.lag") 0.25;
+  Alcotest.(check bool) "visible once written" true (List.mem "replica.lag" (names ()))
 
 (* ---- Summarization under a mid-run budget shrink (§6.2) ------------------- *)
 
@@ -254,7 +356,12 @@ let () =
           Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
           Alcotest.test_case "dump and render" `Quick test_dump_sorted;
         ] );
-      ("windows", [ Alcotest.test_case "snap deltas" `Quick test_snap_deltas ]);
+      ( "windows",
+        [
+          Alcotest.test_case "snap deltas" `Quick test_snap_deltas;
+          Alcotest.test_case "deltas across ring wrap" `Quick
+            test_delta_values_across_ring_wrap;
+        ] );
       ( "trace",
         [
           Alcotest.test_case "ring bounds" `Quick test_trace_ring_bounds;
@@ -263,6 +370,12 @@ let () =
         ] );
       ( "percentiles",
         [ Alcotest.test_case "nearest rank" `Quick test_percentile_nearest ] );
+      ( "drops",
+        [
+          Alcotest.test_case "drop counters" `Quick test_drop_counters;
+          Alcotest.test_case "never-set gauge skipped" `Quick
+            test_never_set_gauge_skipped;
+        ] );
       ( "summarization (§6.2)",
         [ Alcotest.test_case "mid-run budget shrink" `Quick test_shrink_mid_run ] );
     ]
