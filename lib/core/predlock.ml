@@ -71,6 +71,15 @@ type owner_state = {
   pages_by_rel : (string, int list ref) Hashtbl.t;
   (* Index-page locks per index. *)
   pages_by_index : (string, int list ref) Hashtbl.t;
+  (* Coverage cache: which relations/indexes this owner already covers at
+     the coarsest granularity, plus the last heap page whose page lock the
+     owner holds.  A scan that already holds coarse coverage skips the
+     per-tuple [held] probes entirely; kept in sync by [grant]/[forget],
+     and an owner never loses coverage except through [forget] (promotions
+     only coarsen), so a hit can never be stale. *)
+  covered_rels : (string, unit) Hashtbl.t;
+  covered_idx : (string, unit) Hashtbl.t;
+  mutable page_memo : (string * int) option;
 }
 
 (* Registry handles, hoisted so the hot acquisition paths touch no
@@ -86,10 +95,66 @@ type metrics = {
   m_promotions : Obs.counter;
 }
 
+(* Min-heap of (cseq, target) for every dummy-owner mark ever recorded:
+   {!cleanup_old_committed} pops the stale prefix instead of scanning the
+   whole lock table on every commit's cleanup pass.  Items are lazily
+   revalidated against the entry's current mark (per-target marks strictly
+   increase — commit cseqs are unique — so an exact match identifies the
+   live record). *)
+module Oldc_heap = struct
+  type h = { mutable a : (cseq * target) array; mutable n : int }
+
+  let create () = { a = [||]; n = 0 }
+
+  let push h ((c, _) as it) =
+    if h.n = Array.length h.a then begin
+      let cap = max 16 (2 * Array.length h.a) in
+      let a' = Array.make cap it in
+      Array.blit h.a 0 a' 0 h.n;
+      h.a <- a'
+    end;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    while !i > 0 && fst h.a.((!i - 1) / 2) > c do
+      let p = (!i - 1) / 2 in
+      h.a.(!i) <- h.a.(p);
+      i := p
+    done;
+    h.a.(!i) <- it
+
+  let peek h = if h.n = 0 then None else Some h.a.(0)
+
+  let pop h =
+    if h.n > 0 then begin
+      h.n <- h.n - 1;
+      if h.n > 0 then begin
+        let it = h.a.(h.n) in
+        let n = h.n in
+        let i = ref 0 in
+        let stop = ref false in
+        while not !stop do
+          let l = (2 * !i) + 1 in
+          if l >= n then stop := true
+          else begin
+            let r = l + 1 in
+            let m = if r < n && fst h.a.(r) < fst h.a.(l) then r else l in
+            if fst h.a.(m) < fst it then begin
+              h.a.(!i) <- h.a.(m);
+              i := m
+            end
+            else stop := true
+          end
+        done;
+        h.a.(!i) <- it
+      end
+    end
+end
+
 type t = {
   table : entry Target_table.t;
   owners : (xid, owner_state) Hashtbl.t;
   config : config;
+  oldc : Oldc_heap.h;
   obs : Obs.t;
   metrics : metrics;
 }
@@ -107,7 +172,14 @@ let create ?(config = default_config) ?(obs = Obs.create ()) () =
       m_promotions = Obs.counter obs "predlock.promotions";
     }
   in
-  { table = Target_table.create 1024; owners = Hashtbl.create 64; config; obs; metrics }
+  {
+    table = Target_table.create 1024;
+    owners = Hashtbl.create 64;
+    config;
+    oldc = Oldc_heap.create ();
+    obs;
+    metrics;
+  }
 
 let count_acquired t = function
   | Relation _ -> Obs.incr t.metrics.m_relation
@@ -136,6 +208,9 @@ let owner_state t owner =
           tuples_by_page = Hashtbl.create 8;
           pages_by_rel = Hashtbl.create 4;
           pages_by_index = Hashtbl.create 4;
+          covered_rels = Hashtbl.create 4;
+          covered_idx = Hashtbl.create 4;
+          page_memo = None;
         }
       in
       Hashtbl.add t.owners owner s;
@@ -149,11 +224,38 @@ let holds t ~owner target =
 let maybe_drop_entry t target e =
   if e.holders = [] && e.old_committed = None then Target_table.remove t.table target
 
+(* Record [cseq] as the dummy owner's mark on [target] if newer than the
+   current one, and index it in the cleanup heap.  Marks only ever grow
+   (commit cseqs are unique), so pushing exactly on change keeps the heap's
+   exact-match revalidation sound. *)
+let set_old_committed t target (e : entry) cseq =
+  match e.old_committed with
+  | Some c when c >= cseq -> ()
+  | Some _ | None ->
+      e.old_committed <- Some cseq;
+      Oldc_heap.push t.oldc (cseq, target)
+
 (* Remove [target] from both the shared table and the owner's bookkeeping
    (except the per-page/per-rel counters, which callers maintain). *)
+let cache_granted state = function
+  | Relation r -> Hashtbl.replace state.covered_rels r ()
+  | Index_rel i -> Hashtbl.replace state.covered_idx i ()
+  | Page (r, p) -> state.page_memo <- Some (r, p)
+  | Tuple _ | Index_page _ | Index_key _ | Index_inf _ -> ()
+
+let cache_forgotten state = function
+  | Relation r -> Hashtbl.remove state.covered_rels r
+  | Index_rel i -> Hashtbl.remove state.covered_idx i
+  | Page (r, p) -> (
+      match state.page_memo with
+      | Some (r', p') when p = p' && String.equal r r' -> state.page_memo <- None
+      | Some _ | None -> ())
+  | Tuple _ | Index_page _ | Index_key _ | Index_inf _ -> ()
+
 let forget t owner state target =
   if Target_table.mem state.held target then begin
     Target_table.remove state.held target;
+    cache_forgotten state target;
     match Target_table.find_opt t.table target with
     | None -> ()
     | Some e ->
@@ -164,6 +266,7 @@ let forget t owner state target =
 let grant t owner state target =
   if not (Target_table.mem state.held target) then begin
     Target_table.replace state.held target ();
+    cache_granted state target;
     let e = entry_of t target in
     e.holders <- owner :: e.holders;
     count_acquired t target;
@@ -209,7 +312,7 @@ let promote_owner_relation t owner state rel =
 
 let lock_page t ~owner ~rel ~page =
   let state = owner_state t owner in
-  if Target_table.mem state.held (Relation rel) then ()
+  if Hashtbl.mem state.covered_rels rel then ()
   else if grant t owner state (Page (rel, page)) then begin
     (* Page lock subsumes the owner's tuple locks on that page. *)
     (match Hashtbl.find_opt state.tuples_by_page (rel, page) with
@@ -230,30 +333,62 @@ let lock_page t ~owner ~rel ~page =
       promote_owner_relation t owner state rel
   end
 
-let lock_tuple t ~owner ~rel ~key ~page =
-  let state = owner_state t owner in
-  if
-    Target_table.mem state.held (Relation rel)
-    || Target_table.mem state.held (Page (rel, page))
-  then ()
-  else begin
-    let target = Tuple (rel, key) in
-    if grant t owner state target then begin
-      let tuples =
-        match Hashtbl.find_opt state.tuples_by_page (rel, page) with
-        | Some l -> l
-        | None ->
-            let l = ref [] in
-            Hashtbl.add state.tuples_by_page (rel, page) l;
-            l
-      in
-      tuples := target :: !tuples;
-      if List.length !tuples > t.config.max_tuple_locks_per_page then begin
-        Obs.incr t.metrics.m_promotions;
-        lock_page t ~owner ~rel ~page
+(* Coarse coverage of a heap tuple: relation-level (cache), page-level via
+   the single-page memo, or page-level via a [held] probe (which refreshes
+   the memo, so a scan's next tuple on the same page hits the memo). *)
+let tuple_covered state ~rel ~page =
+  Hashtbl.mem state.covered_rels rel
+  ||
+  match state.page_memo with
+  | Some (r, p) when p = page && String.equal r rel -> true
+  | Some _ | None ->
+      if Target_table.mem state.held (Page (rel, page)) then begin
+        state.page_memo <- Some (rel, page);
+        true
       end
+      else false
+
+let lock_tuple_slow t owner state ~rel ~key ~page =
+  let target = Tuple (rel, key) in
+  if grant t owner state target then begin
+    let tuples =
+      match Hashtbl.find_opt state.tuples_by_page (rel, page) with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.add state.tuples_by_page (rel, page) l;
+          l
+    in
+    tuples := target :: !tuples;
+    if List.length !tuples > t.config.max_tuple_locks_per_page then begin
+      Obs.incr t.metrics.m_promotions;
+      lock_page t ~owner ~rel ~page
     end
   end
+
+let lock_tuple t ~owner ~rel ~key ~page =
+  let state = owner_state t owner in
+  if tuple_covered state ~rel ~page then ()
+  else lock_tuple_slow t owner state ~rel ~key ~page
+
+let lock_tuples_page t ~owner ~rel ~page ~keys =
+  let state = owner_state t owner in
+  if not (tuple_covered state ~rel ~page) then
+    List.iter
+      (fun key ->
+        (* Re-check before each key: acquiring one may promote the owner to
+           page or relation coverage, after which the remaining keys are
+           no-ops — exactly as sequential [lock_tuple] calls behave.  The
+           re-check hits the cache/memo, never the [held] table. *)
+        let covered =
+          Hashtbl.mem state.covered_rels rel
+          ||
+          match state.page_memo with
+          | Some (r, p) -> p = page && String.equal r rel
+          | None -> false
+        in
+        if not covered then lock_tuple_slow t owner state ~rel ~key ~page)
+      keys
 
 (* Promote all of the owner's index-page locks on [index] to a whole-index
    lock. *)
@@ -298,18 +433,18 @@ let note_index_fine t owner state index target =
 
 let lock_index_key t ~owner ~index ~key =
   let state = owner_state t owner in
-  if Target_table.mem state.held (Index_rel index) then ()
+  if Hashtbl.mem state.covered_idx index then ()
   else if grant t owner state (Index_key (index, key)) then
     note_index_fine t owner state index (Index_key (index, key))
 
 let lock_index_inf t ~owner ~index =
   let state = owner_state t owner in
-  if Target_table.mem state.held (Index_rel index) then ()
+  if Hashtbl.mem state.covered_idx index then ()
   else ignore (grant t owner state (Index_inf index))
 
 let lock_index_page t ~owner ~index ~page =
   let state = owner_state t owner in
-  if Target_table.mem state.held (Index_rel index) then ()
+  if Hashtbl.mem state.covered_idx index then ()
   else if grant t owner state (Index_page (index, page)) then begin
     let pages =
       match Hashtbl.find_opt state.pages_by_index index with
@@ -401,26 +536,26 @@ let summarize_owner t owner ~cseq =
           | None -> ()
           | Some e ->
               e.holders <- List.filter (fun o -> o <> owner) e.holders;
-              e.old_committed <-
-                (match e.old_committed with
-                | Some c when c >= cseq -> Some c
-                | Some _ | None -> Some cseq))
+              set_old_committed t target e cseq)
         state.held;
       Hashtbl.remove t.owners owner
 
 let cleanup_old_committed t ~before =
-  let stale = ref [] in
-  Target_table.iter
-    (fun target (e : entry) ->
-      match e.old_committed with
-      | Some c when c < before -> stale := (target, e) :: !stale
-      | Some _ | None -> ())
-    t.table;
-  List.iter
-    (fun (target, (e : entry)) ->
-      e.old_committed <- None;
-      maybe_drop_entry t target e)
-    !stale
+  (* Pop the heap's stale prefix; each item is revalidated against the
+     entry's current mark, so items superseded by a newer mark (or cleared
+     by the DDL paths) are skipped. *)
+  let continue_ = ref true in
+  while !continue_ do
+    match Oldc_heap.peek t.oldc with
+    | Some (c, target) when c < before ->
+        Oldc_heap.pop t.oldc;
+        (match Target_table.find_opt t.table target with
+        | Some e when e.old_committed = Some c ->
+            e.old_committed <- None;
+            maybe_drop_entry t target e
+        | Some _ | None -> ())
+    | Some _ | None -> continue_ := false
+  done
 
 let on_index_page_split t ~index ~old_page ~new_page =
   match Target_table.find_opt t.table (Index_page (index, old_page)) with
@@ -433,14 +568,9 @@ let on_index_page_split t ~index ~old_page ~new_page =
           lock_index_page t ~owner ~index ~page:new_page;
           ignore state)
         holders;
-      if old_c <> None then begin
-        let e' = entry_of t (Index_page (index, new_page)) in
-        e'.old_committed <-
-          (match (e'.old_committed, old_c) with
-          | Some a, Some b -> Some (max a b)
-          | None, c -> c
-          | c, None -> c)
-      end
+      (match old_c with
+      | Some c -> set_old_committed t (Index_page (index, new_page)) (entry_of t (Index_page (index, new_page))) c
+      | None -> ())
 
 let promote_relation t ~rel =
   (* Every owner's page/tuple locks on [rel] become a relation lock; the
@@ -482,10 +612,7 @@ let promote_relation t ~rel =
     !stale;
   match !dummy_cseq with
   | None -> ()
-  | Some c ->
-      let e = entry_of t (Relation rel) in
-      e.old_committed <-
-        (match e.old_committed with Some c' -> Some (max c c') | None -> Some c)
+  | Some c -> set_old_committed t (Relation rel) (entry_of t (Relation rel)) c
 
 let drop_index_to_relation t ~index ~heap_rel =
   let affected_owners = ref [] in
@@ -528,10 +655,7 @@ let drop_index_to_relation t ~index ~heap_rel =
     !stale;
   match !dummy_cseq with
   | None -> ()
-  | Some c ->
-      let e = entry_of t (Relation heap_rel) in
-      e.old_committed <-
-        (match e.old_committed with Some c' -> Some (max c c') | None -> Some c)
+  | Some c -> set_old_committed t (Relation heap_rel) (entry_of t (Relation heap_rel)) c
 
 let dump t =
   Target_table.fold

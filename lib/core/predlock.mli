@@ -64,6 +64,15 @@ val create : ?config:config -> ?obs:Ssi_obs.Obs.t -> unit -> t
 (** {1 Acquisition} *)
 
 val lock_tuple : t -> owner:xid -> rel:string -> key:Value.t -> page:int -> unit
+
+val lock_tuples_page :
+  t -> owner:xid -> rel:string -> page:int -> keys:Value.t list -> unit
+(** Acquire tuple locks for a page's worth of keys from one scan:
+    behaviorally identical to calling {!lock_tuple} on each key in order,
+    but the owner's coarse-coverage check runs once for the whole batch —
+    an owner already holding a relation- or page-level lock pays nothing
+    per tuple. *)
+
 val lock_page : t -> owner:xid -> rel:string -> page:int -> unit
 val lock_relation : t -> owner:xid -> rel:string -> unit
 val lock_index_page : t -> owner:xid -> index:string -> page:int -> unit

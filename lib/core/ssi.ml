@@ -20,6 +20,14 @@ let default_config =
 
 type status = Active | Prepared | Committed | Aborted
 
+(* Conflict edges and read-only watch pairs are intrusive doubly-linked
+   records (PostgreSQL's RWConflictData on SHM queues, §5): one record per
+   rw-antidependency, threaded through both endpoints, so insertion and
+   unlink are O(1) from either side — commit, abort, cleanup and
+   summarization never sweep a [List.filter] over a node's edges.  New
+   records are pushed at the head of each list, so iteration order is
+   newest-first, exactly the order of the former [node list]
+   representation: victim selection and seed replay are unchanged. *)
 type node = {
   xid : Heap.xid;
   snap_cseq : cseq;
@@ -29,8 +37,10 @@ type node = {
   mutable doomed : bool;
   mutable wrote : bool;
   mutable commit_cseq : cseq;
-  mutable in_conflicts : node list;  (** readers r with r --rw--> me *)
-  mutable out_conflicts : node list;  (** writers w with me --rw--> w *)
+  mutable in_first : edge option;  (** readers r with r --rw--> me *)
+  mutable in_count : int;
+  mutable out_first : edge option;  (** writers w with me --rw--> w *)
+  mutable out_count : int;
   mutable cached_earliest_out : cseq;
       (** min commit cseq over my committed out-conflict targets, retained
           even after those targets are cleaned up (§6.1) *)
@@ -40,17 +50,201 @@ type node = {
   mutable conservative_in : bool;  (** after crash recovery of 2PC (§7.1) *)
   mutable conservative_out : bool;
   (* Read-only safety (§4.2): *)
-  mutable concurrent_rw : node list;  (** rw transactions active at my snapshot *)
+  mutable watching_first : watch option;
+      (** rw transactions active at my snapshot (me read-only) *)
+  mutable watching_count : int;
   mutable unsafe : bool;
   mutable safe : bool;
   mutable safety_known : bool;
-  mutable ro_watchers : node list;  (** read-only transactions watching me *)
+  mutable watchers_first : watch option;
+      (** read-only transactions watching me (me read-write) *)
+  (* Intrusive active-list links (Active and Prepared transactions). *)
+  mutable act_prev : node option;
+  mutable act_next : node option;
+  mutable in_active : bool;
   safety_wq : Waitq.t;
 }
 
+and edge = {
+  e_reader : node;
+  e_writer : node;
+  mutable out_prev : edge option;  (** links in [e_reader]'s out-list *)
+  mutable out_next : edge option;
+  mutable in_prev : edge option;  (** links in [e_writer]'s in-list *)
+  mutable in_next : edge option;
+  mutable e_dead : bool;
+}
+
+and watch = {
+  w_ro : node;
+  w_rw : node;
+  mutable wo_prev : watch option;  (** links in [w_ro]'s watching list *)
+  mutable wo_next : watch option;
+  mutable wi_prev : watch option;  (** links in [w_rw]'s watchers list *)
+  mutable wi_next : watch option;
+  mutable w_dead : bool;
+}
+
+(* ---- Edge-list primitives ------------------------------------------------- *)
+
+let add_edge ~reader ~writer =
+  let e =
+    {
+      e_reader = reader;
+      e_writer = writer;
+      out_prev = None;
+      out_next = reader.out_first;
+      in_prev = None;
+      in_next = writer.in_first;
+      e_dead = false;
+    }
+  in
+  (match reader.out_first with Some o -> o.out_prev <- Some e | None -> ());
+  reader.out_first <- Some e;
+  reader.out_count <- reader.out_count + 1;
+  (match writer.in_first with Some i -> i.in_prev <- Some e | None -> ());
+  writer.in_first <- Some e;
+  writer.in_count <- writer.in_count + 1
+
+let unlink_edge e =
+  if not e.e_dead then begin
+    e.e_dead <- true;
+    (match e.out_prev with
+    | Some p -> p.out_next <- e.out_next
+    | None -> e.e_reader.out_first <- e.out_next);
+    (match e.out_next with Some n -> n.out_prev <- e.out_prev | None -> ());
+    e.e_reader.out_count <- e.e_reader.out_count - 1;
+    (match e.in_prev with
+    | Some p -> p.in_next <- e.in_next
+    | None -> e.e_writer.in_first <- e.in_next);
+    (match e.in_next with Some n -> n.in_prev <- e.in_prev | None -> ());
+    e.e_writer.in_count <- e.e_writer.in_count - 1
+  end
+
+(* Iteration captures the successor before visiting, so the visitor may
+   unlink the current edge (but not an arbitrary later one). *)
+let iter_out n f =
+  let rec go = function
+    | None -> ()
+    | Some e ->
+        let next = e.out_next in
+        f e;
+        go next
+  in
+  go n.out_first
+
+let iter_in n f =
+  let rec go = function
+    | None -> ()
+    | Some e ->
+        let next = e.in_next in
+        f e;
+        go next
+  in
+  go n.in_first
+
+let exists_in n p =
+  let rec go = function None -> false | Some e -> p e.e_reader || go e.in_next in
+  go n.in_first
+
+let find_in_opt n p =
+  let rec go = function
+    | None -> None
+    | Some e -> if p e.e_reader then Some e.e_reader else go e.in_next
+  in
+  go n.in_first
+
+(* Newest-first list of in-edge readers (matches the old [in_conflicts]
+   ordering).  Only materialized on cold paths (prepared-pivot resolution,
+   introspection). *)
+let in_readers n =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some e -> go (e.e_reader :: acc) e.in_next
+  in
+  go [] n.in_first
+
+let out_writers n =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some e -> go (e.e_writer :: acc) e.out_next
+  in
+  go [] n.out_first
+
+(* Membership probe for [flag_conflict]: walk whichever endpoint list is
+   shorter (PostgreSQL's RWConflictExists does the same). *)
+let edge_exists ~reader ~writer =
+  if reader.out_count <= writer.in_count then begin
+    let rec go = function
+      | None -> false
+      | Some e -> e.e_writer == writer || go e.out_next
+    in
+    go reader.out_first
+  end
+  else begin
+    let rec go = function
+      | None -> false
+      | Some e -> e.e_reader == reader || go e.in_next
+    in
+    go writer.in_first
+  end
+
+(* ---- Watch-list primitives (read-only safety, §4.2) ----------------------- *)
+
+let add_watch ~ro ~rw =
+  let w =
+    {
+      w_ro = ro;
+      w_rw = rw;
+      wo_prev = None;
+      wo_next = ro.watching_first;
+      wi_prev = None;
+      wi_next = rw.watchers_first;
+      w_dead = false;
+    }
+  in
+  (match ro.watching_first with Some o -> o.wo_prev <- Some w | None -> ());
+  ro.watching_first <- Some w;
+  ro.watching_count <- ro.watching_count + 1;
+  (match rw.watchers_first with Some i -> i.wi_prev <- Some w | None -> ());
+  rw.watchers_first <- Some w
+
+let unlink_watch w =
+  if not w.w_dead then begin
+    w.w_dead <- true;
+    (match w.wo_prev with
+    | Some p -> p.wo_next <- w.wo_next
+    | None -> w.w_ro.watching_first <- w.wo_next);
+    (match w.wo_next with Some n -> n.wo_prev <- w.wo_prev | None -> ());
+    w.w_ro.watching_count <- w.w_ro.watching_count - 1;
+    (match w.wi_prev with
+    | Some p -> p.wi_next <- w.wi_next
+    | None -> w.w_rw.watchers_first <- w.wi_next);
+    (match w.wi_next with Some n -> n.wi_prev <- w.wi_prev | None -> ())
+  end
+
+let iter_watchers n f =
+  let rec go = function
+    | None -> ()
+    | Some w ->
+        let next = w.wi_next in
+        f w;
+        go next
+  in
+  go n.watchers_first
+
+let iter_watching n f =
+  let rec go = function
+    | None -> ()
+    | Some w ->
+        let next = w.wo_next in
+        f w;
+        go next
+  in
+  go n.watching_first
+
 (* Registry handles for the per-event counters, hoisted out of the hot
-   paths.  Victim-by-reason counters ([ssi.victims.<reason>]) are created
-   lazily — dooming is rare and the reason set is open-ended. *)
+   paths. *)
 type metrics = {
   m_conflicts : Obs.counter;
   m_dooms : Obs.counter;
@@ -70,9 +264,20 @@ type t = {
   locks : Predlock.t;
   mutable config : config;
   by_xid : (Heap.xid, node) Hashtbl.t;
-  mutable active : node list;  (** Active and Prepared *)
+  mutable active_first : node option;  (** Active and Prepared, newest first *)
+  mutable active_n : int;
   committed : node Queue.t;  (** retained committed nodes, commit order *)
   oldserxid : (Heap.xid, old_entry) Hashtbl.t;
+  oldserxid_order : (Heap.xid * cseq) Queue.t;
+      (** oldserxid insertion order; [old_commit] is monotone (entries are
+          summarized in commit order), so cleanup pops from the front
+          instead of scanning the whole table *)
+  by_cseq : (cseq, Heap.xid) Hashtbl.t;
+      (** commit cseq -> xid for every identity the manager still knows:
+          retained committed nodes and summarized (oldserxid) entries —
+          the index behind {!resolve_xid_by_cseq} *)
+  victim_counters : (string, Obs.counter) Hashtbl.t;
+      (** memoized [ssi.victims.<slug>] handles, keyed by raw reason *)
   obs : Obs.t;
   metrics : metrics;
 }
@@ -83,9 +288,13 @@ let create ?(config = default_config) ?(obs = Obs.create ()) clog =
     locks = Predlock.create ~config:config.predlock ~obs ();
     config;
     by_xid = Hashtbl.create 64;
-    active = [];
+    active_first = None;
+    active_n = 0;
     committed = Queue.create ();
     oldserxid = Hashtbl.create 64;
+    oldserxid_order = Queue.create ();
+    by_cseq = Hashtbl.create 64;
+    victim_counters = Hashtbl.create 8;
     obs;
     metrics =
       {
@@ -101,16 +310,58 @@ let create ?(config = default_config) ?(obs = Obs.create ()) clog =
 let locks t = t.locks
 let obs t = t.obs
 
+(* ---- Active list ----------------------------------------------------------- *)
+
+let active_push t n =
+  n.act_next <- t.active_first;
+  (match t.active_first with Some h -> h.act_prev <- Some n | None -> ());
+  t.active_first <- Some n;
+  n.in_active <- true;
+  t.active_n <- t.active_n + 1
+
+let active_remove t n =
+  if n.in_active then begin
+    n.in_active <- false;
+    (match n.act_prev with
+    | Some p -> p.act_next <- n.act_next
+    | None -> t.active_first <- n.act_next);
+    (match n.act_next with Some s -> s.act_prev <- n.act_prev | None -> ());
+    n.act_prev <- None;
+    n.act_next <- None;
+    t.active_n <- t.active_n - 1
+  end
+
+let iter_active t f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        let next = n.act_next in
+        f n;
+        go next
+  in
+  go t.active_first
+
 (* [ssi.victims.<slug>] — one counter per abort reason, so reports can
    break down serialization failures the way Figure 6 of the paper breaks
-   down abort causes. *)
+   down abort causes.  The slugging and registry resolution run once per
+   distinct reason; every subsequent doom is one hashtable probe. *)
 let reason_slug reason =
   String.map
     (fun c ->
       match c with 'a' .. 'z' | '0' .. '9' -> c | _ -> '_')
     (String.lowercase_ascii reason)
 
-let count_victim t reason = Obs.incr (Obs.counter t.obs ("ssi.victims." ^ reason_slug reason))
+let count_victim t reason =
+  let c =
+    match Hashtbl.find_opt t.victim_counters reason with
+    | Some c -> c
+    | None ->
+        let c = Obs.counter t.obs ("ssi.victims." ^ reason_slug reason) in
+        Hashtbl.add t.victim_counters reason c;
+        c
+  in
+  Obs.incr c
+
 let max_committed_sxacts t = t.config.max_committed_sxacts
 
 let set_max_committed_sxacts t n =
@@ -124,7 +375,7 @@ let is_safe n = n.safe
 let safety_determined n = n.safety_known
 let is_unsafe n = n.unsafe
 let safety_waitq n = n.safety_wq
-let active_count t = List.length t.active
+let active_count t = t.active_n
 let committed_retained t = Queue.length t.committed
 let oldserxid_size t = Hashtbl.length t.oldserxid
 
@@ -153,20 +404,38 @@ let effective_earliest_out n = if n.conservative_out then 0 else n.cached_earlie
 (* ---- Structure records for the abort explainer --------------------------- *)
 
 (* A commit cseq's transaction id, when the manager still knows it: an
-   active/committed node, or a summarized (oldserxid) entry.  Commit
-   cseqs are unique, so at most one entry matches; [-1] when the identity
-   has been lost to cleanup. *)
+   active/committed node, or a summarized (oldserxid) entry.  Commit cseqs
+   are unique, so the [by_cseq] index answers in O(1); the early-exit
+   full scans remain only as a defensive fallback for identities that
+   predate the index (e.g. state rebuilt by recovery paths). *)
 let resolve_xid_by_cseq t c =
   if c <= 0 || c = invalid_cseq then -1
-  else begin
-    let found = ref (-1) in
-    Hashtbl.iter
-      (fun xid n -> if n.status = Committed && n.commit_cseq = c then found := xid)
-      t.by_xid;
-    if !found < 0 then
-      Hashtbl.iter (fun xid e -> if e.old_commit = c then found := xid) t.oldserxid;
-    !found
-  end
+  else
+    match Hashtbl.find_opt t.by_cseq c with
+    | Some xid -> xid
+    | None ->
+        let found = ref (-1) in
+        (try
+           Hashtbl.iter
+             (fun xid n ->
+               if n.status = Committed && n.commit_cseq = c then begin
+                 found := xid;
+                 raise Exit
+               end)
+             t.by_xid
+         with Exit -> ());
+        if !found < 0 then begin
+          try
+            Hashtbl.iter
+              (fun xid e ->
+                if e.old_commit = c then begin
+                  found := xid;
+                  raise Exit
+                end)
+              t.oldserxid
+          with Exit -> ()
+        end;
+        !found
 
 (* Every doom/fail decision leaves one [ssi.dangerous] event carrying the
    whole structure T1 --rw--> T2 --rw--> T3 (xids and commit cseqs, [-1]
@@ -307,14 +576,13 @@ let check_pivot_out t ~actor ~r ~t3_cseq =
     then
       victimize t ~actor ~t1:None ~t2:r ~t1v:(-1, -1, false) ~t3 ~rule:"pivot"
         ~reason:"pivot with recovered prepared reader";
-    List.iter
-      (fun t1 ->
+    iter_in r (fun e ->
+        let t1 = e.e_reader in
         if (not t1.doomed) && t1.status <> Aborted
            && dangerous t ~t1:(T1_node t1) ~t2:r ~t3_cseq
         then
           victimize t ~actor ~t1:(Some t1) ~t2:r ~t1v:(t1_fields t1) ~t3
             ~rule:(ordered_rule t1) ~reason:"pivot gained rw-antidependency out")
-      r.in_conflicts
   end
 
 (* ---- Conflict recording -------------------------------------------------- *)
@@ -329,10 +597,9 @@ let flag_conflict t ~actor ~reader ~writer =
     reader != writer
     && (not reader.doomed) && (not writer.doomed)
     && reader.status <> Aborted && writer.status <> Aborted
-    && not (List.memq writer reader.out_conflicts)
+    && not (edge_exists ~reader ~writer)
   then begin
-    reader.out_conflicts <- writer :: reader.out_conflicts;
-    writer.in_conflicts <- reader :: writer.in_conflicts;
+    add_edge ~reader ~writer;
     Obs.incr t.metrics.m_conflicts;
     (* The conflict-edge event names both pivot candidates: either endpoint
        of a new rw-antidependency may turn out to be the T2 of a dangerous
@@ -358,15 +625,11 @@ let note_write node =
 
 (* ---- Read-only safety (§4.2) --------------------------------------------- *)
 
-let remove_ro_watcher w r = w.ro_watchers <- List.filter (fun n -> n != r) w.ro_watchers
-
 let drop_tracking t r =
   (* A safe transaction can never be part of a dangerous structure: drop
      its SIREAD locks and its conflict edges. *)
   Predlock.release_owner t.locks r.xid;
-  List.iter (fun w -> w.in_conflicts <- List.filter (fun n -> n != r) w.in_conflicts)
-    r.out_conflicts;
-  r.out_conflicts <- []
+  iter_out r unlink_edge
 
 let finalize_safety t r =
   if not r.safety_known then begin
@@ -380,9 +643,11 @@ let finalize_safety t r =
     Waitq.wake_all r.safety_wq
   end
 
-(* [w] (a potential writer concurrent with read-only [r]) resolved. *)
-let ro_watch_resolved t r w ~committed =
-  r.concurrent_rw <- List.filter (fun n -> n != w) r.concurrent_rw;
+(* The watch [wt] between read-only [r] and a potential writer [w] resolved
+   (w committed or aborted). *)
+let ro_watch_resolved t wt ~committed =
+  let r = wt.w_ro and w = wt.w_rw in
+  unlink_watch wt;
   if r.safety_known then ()
   else begin
     if committed && w.wrote && effective_earliest_out w < r.snap_cseq then begin
@@ -392,12 +657,11 @@ let ro_watch_resolved t r w ~committed =
       (* Deferrable transactions retry immediately; plain read-only
          transactions simply keep full SSI tracking. *)
       if r.deferrable then begin
-        List.iter (fun other -> remove_ro_watcher other r) r.concurrent_rw;
-        r.concurrent_rw <- [];
+        iter_watching r unlink_watch;
         finalize_safety t r
       end
     end;
-    if r.concurrent_rw = [] then finalize_safety t r
+    if r.watching_count = 0 then finalize_safety t r
   end
 
 (* ---- Registration -------------------------------------------------------- *)
@@ -413,38 +677,43 @@ let register t ~xid ~snap_cseq ~read_only ~deferrable =
       doomed = false;
       wrote = false;
       commit_cseq = invalid_cseq;
-      in_conflicts = [];
-      out_conflicts = [];
+      in_first = None;
+      in_count = 0;
+      out_first = None;
+      out_count = 0;
       cached_earliest_out = invalid_cseq;
       summarized_in_max = 0;
       conservative_in = false;
       conservative_out = false;
-      concurrent_rw = [];
+      watching_first = None;
+      watching_count = 0;
       unsafe = false;
       safe = false;
       safety_known = false;
-      ro_watchers = [];
+      watchers_first = None;
+      act_prev = None;
+      act_next = None;
+      in_active = false;
       safety_wq = Waitq.create ();
     }
   in
   Hashtbl.replace t.by_xid xid node;
   if read_only && t.config.read_only_opt then begin
-    let rw =
-      List.filter
-        (fun n -> (not n.declared_read_only) && (n.status = Active || n.status = Prepared))
-        t.active
-    in
-    node.concurrent_rw <- rw;
-    if rw = [] then finalize_safety t node
-    else List.iter (fun w -> w.ro_watchers <- node :: w.ro_watchers) rw
+    iter_active t (fun n ->
+        if (not n.declared_read_only) && (n.status = Active || n.status = Prepared) then
+          add_watch ~ro:node ~rw:n);
+    if node.watching_count = 0 then finalize_safety t node
   end;
-  t.active <- node :: t.active;
+  active_push t node;
   node
 
 (* ---- Reads ---------------------------------------------------------------- *)
 
 let read_tuple t node ~rel ~key ~page =
   if not node.safe then Predlock.lock_tuple t.locks ~owner:node.xid ~rel ~key ~page
+
+let read_tuples_page t node ~rel ~page ~keys =
+  if not node.safe then Predlock.lock_tuples_page t.locks ~owner:node.xid ~rel ~page ~keys
 
 let read_relation t node ~rel =
   if not node.safe then Predlock.lock_relation t.locks ~owner:node.xid ~rel
@@ -561,18 +830,16 @@ let index_insert_check_nextkey t node ~index ~key ~succ =
 (* ---- Cleanup and summarization (§6) ---------------------------------------- *)
 
 let min_active_snap t =
-  List.fold_left
-    (fun acc n ->
-      match n.status with Active | Prepared -> min acc n.snap_cseq | Committed | Aborted -> acc)
-    invalid_cseq t.active
+  let acc = ref invalid_cseq in
+  iter_active t (fun n ->
+      match n.status with
+      | Active | Prepared -> if n.snap_cseq < !acc then acc := n.snap_cseq
+      | Committed | Aborted -> ());
+  !acc
 
 let unlink_node n =
-  List.iter (fun w -> w.in_conflicts <- List.filter (fun x -> x != n) w.in_conflicts)
-    n.out_conflicts;
-  List.iter (fun r -> r.out_conflicts <- List.filter (fun x -> x != n) r.out_conflicts)
-    n.in_conflicts;
-  n.out_conflicts <- [];
-  n.in_conflicts <- []
+  iter_out n unlink_edge;
+  iter_in n unlink_edge
 
 let summarize_oldest t =
   match Queue.take_opt t.committed with
@@ -584,12 +851,13 @@ let summarize_oldest t =
       Predlock.summarize_owner t.locks c.xid ~cseq:c.commit_cseq;
       Hashtbl.replace t.oldserxid c.xid
         { old_commit = c.commit_cseq; old_earliest_out = effective_earliest_out c };
+      Queue.add (c.xid, c.commit_cseq) t.oldserxid_order;
+      (* The [by_cseq] identity survives the move into oldserxid unchanged. *)
       (* Writers that summarized committed readers had read from keep a
          conservative record of the conflict (§6.2, first case). *)
-      List.iter
-        (fun w ->
-          if c.commit_cseq > w.summarized_in_max then w.summarized_in_max <- c.commit_cseq)
-        c.out_conflicts;
+      iter_out c (fun e ->
+          let w = e.e_writer in
+          if c.commit_cseq > w.summarized_in_max then w.summarized_in_max <- c.commit_cseq);
       unlink_node c;
       Hashtbl.remove t.by_xid c.xid
 
@@ -605,6 +873,7 @@ let cleanup t =
         Predlock.release_owner t.locks c.xid;
         unlink_node c;
         Hashtbl.remove t.by_xid c.xid;
+        Hashtbl.remove t.by_cseq c.commit_cseq;
         drain ()
     | Some _ | None -> ()
   in
@@ -613,36 +882,40 @@ let cleanup t =
      read-only, committed transactions' SIREAD locks and in-conflict lists
      can go — no future write can create a conflict with them. *)
   let only_read_only =
-    t.active <> []
-    && List.for_all
-         (fun n ->
-           match n.status with
-           | Active | Prepared -> n.declared_read_only
-           | Committed | Aborted -> true)
-         t.active
+    let all = ref (t.active_first <> None) in
+    iter_active t (fun n ->
+        match n.status with
+        | Active | Prepared -> if not n.declared_read_only then all := false
+        | Committed | Aborted -> ());
+    !all
   in
-  if only_read_only || t.active = [] then
+  if only_read_only || t.active_first = None then
     Queue.iter
       (fun c ->
         Predlock.release_owner t.locks c.xid;
-        List.iter
-          (fun r -> r.out_conflicts <- List.filter (fun x -> x != c) r.out_conflicts)
-          c.in_conflicts;
-        c.in_conflicts <- [])
+        iter_in c unlink_edge)
       t.committed;
   (* Summarization (§6.2): bound the number of retained committed nodes. *)
   while Queue.length t.committed > t.config.max_committed_sxacts do
     summarize_oldest t
   done;
   Predlock.cleanup_old_committed t.locks ~before:horizon;
-  if Hashtbl.length t.oldserxid > 0 then begin
-    let stale =
-      Hashtbl.fold
-        (fun xid e acc -> if e.old_commit < horizon then xid :: acc else acc)
-        t.oldserxid []
-    in
-    List.iter (Hashtbl.remove t.oldserxid) stale
-  end
+  (* oldserxid entries are retired in insertion order ([old_commit] is
+     monotone), so this pops exactly the stale prefix — no full-table
+     scan. *)
+  let rec purge () =
+    match Queue.peek_opt t.oldserxid_order with
+    | Some (xid, c) when c < horizon ->
+        ignore (Queue.pop t.oldserxid_order);
+        (match Hashtbl.find_opt t.oldserxid xid with
+        | Some e when e.old_commit = c ->
+            Hashtbl.remove t.oldserxid xid;
+            Hashtbl.remove t.by_cseq c
+        | Some _ | None -> ());
+        purge ()
+    | Some _ | None -> ()
+  in
+  purge ()
 
 (* ---- Commit / abort --------------------------------------------------------- *)
 
@@ -653,8 +926,8 @@ let precommit t node =
   (* As pivot T2 committing while T3 already committed first. *)
   check_pivot_out t ~actor:node ~r:node ~t3_cseq:(effective_earliest_out node);
   (* As T3, the first committer of a dangerous structure: doom the pivot. *)
-  List.iter
-    (fun t2 ->
+  iter_in node (fun e ->
+      let t2 = e.e_reader in
       match t2.status with
       | Committed | Aborted -> ()
       | Active | Prepared ->
@@ -667,9 +940,9 @@ let precommit t node =
                      (not t1.doomed)
                      && not (t.config.read_only_opt && t1.declared_read_only))
             in
-            let found = t2.conservative_in || List.exists dangerous_t1 t2.in_conflicts in
+            let found = t2.conservative_in || exists_in t2 dangerous_t1 in
             if found then begin
-              let t1_pick = List.find_opt dangerous_t1 t2.in_conflicts in
+              let t1_pick = find_in_opt t2 dangerous_t1 in
               let record ~victim ~reason ~t1 =
                 (* The committer is T3 and wins the race by definition, so
                    the commit-ordering condition holds trivially; only a
@@ -686,7 +959,7 @@ let precommit t node =
               in
               if t2.status = Prepared then begin
                 (* Cannot abort a prepared pivot (§7.1): fall back to T1. *)
-                let t1s = List.filter dangerous_t1 t2.in_conflicts in
+                let t1s = List.filter dangerous_t1 (in_readers t2) in
                 let abortable_t1s =
                   List.filter (fun t1 -> t1 != node && t1.status = Active) t1s
                 in
@@ -715,7 +988,6 @@ let precommit t node =
               end
             end
           end)
-    node.in_conflicts
 
 let prepare t node =
   check_doomed node;
@@ -726,15 +998,13 @@ let committed t node ~commit_cseq =
   node.status <- Committed;
   node.commit_cseq <- commit_cseq;
   (* My readers' earliest committed out-conflict may now be me. *)
-  List.iter (fun r -> note_out_target_committed r commit_cseq) node.in_conflicts;
+  iter_in node (fun e -> note_out_target_committed e.e_reader commit_cseq);
   (* Read-only safety propagation. *)
-  List.iter (fun r -> ro_watch_resolved t r node ~committed:true) node.ro_watchers;
-  node.ro_watchers <- [];
+  iter_watchers node (fun wt -> ro_watch_resolved t wt ~committed:true);
   (* If this transaction was itself read-only and still watching others,
      detach. *)
-  List.iter (fun w -> remove_ro_watcher w node) node.concurrent_rw;
-  node.concurrent_rw <- [];
-  t.active <- List.filter (fun n -> n != node) t.active;
+  iter_watching node unlink_watch;
+  active_remove t node;
   if node.safe then begin
     (* Never tracked; nothing to retain. *)
     Hashtbl.remove t.by_xid node.xid;
@@ -742,6 +1012,7 @@ let committed t node ~commit_cseq =
   end
   else begin
     Queue.add node t.committed;
+    Hashtbl.replace t.by_cseq commit_cseq node.xid;
     cleanup t
   end
 
@@ -749,11 +1020,9 @@ let aborted t node =
   node.status <- Aborted;
   unlink_node node;
   Predlock.release_owner t.locks node.xid;
-  List.iter (fun r -> ro_watch_resolved t r node ~committed:false) node.ro_watchers;
-  node.ro_watchers <- [];
-  List.iter (fun w -> remove_ro_watcher w node) node.concurrent_rw;
-  node.concurrent_rw <- [];
-  t.active <- List.filter (fun n -> n != node) t.active;
+  iter_watchers node (fun wt -> ro_watch_resolved t wt ~committed:false);
+  iter_watching node unlink_watch;
+  active_remove t node;
   Hashtbl.remove t.by_xid node.xid;
   cleanup t
 
@@ -783,13 +1052,16 @@ let node_info n =
     info_read_only = n.declared_read_only;
     info_safe = n.safe;
     info_commit_cseq = (if n.status = Committed then Some n.commit_cseq else None);
-    info_in = List.map (fun x -> x.xid) n.in_conflicts;
-    info_out = List.map (fun x -> x.xid) n.out_conflicts;
+    info_in = List.map (fun x -> x.xid) (in_readers n);
+    info_out = List.map (fun x -> x.xid) (out_writers n);
   }
 
 let dump_graph t =
+  let active = ref [] in
+  iter_active t (fun n -> active := n :: !active);
+  let active = List.rev !active in
   let committed = List.of_seq (Queue.to_seq t.committed) in
-  List.map node_info (t.active @ committed)
+  List.map node_info (active @ committed)
 
 let graph_dot t =
   let buf = Buffer.create 256 in
@@ -819,31 +1091,28 @@ let on_index_page_split t ~index ~old_page ~new_page =
   Predlock.on_index_page_split t.locks ~index ~old_page ~new_page
 
 let recover t =
-  let prepared, others =
-    List.partition (fun n -> n.status = Prepared) t.active
-  in
-  List.iter
-    (fun n ->
-      n.status <- Aborted;
-      Predlock.release_owner t.locks n.xid;
-      Hashtbl.remove t.by_xid n.xid)
-    others;
+  (* Non-prepared active transactions disappear. *)
+  iter_active t (fun n ->
+      if n.status <> Prepared then begin
+        n.status <- Aborted;
+        Predlock.release_owner t.locks n.xid;
+        Hashtbl.remove t.by_xid n.xid;
+        active_remove t n
+      end);
   Queue.iter
     (fun c ->
       Predlock.release_owner t.locks c.xid;
-      Hashtbl.remove t.by_xid c.xid)
+      Hashtbl.remove t.by_xid c.xid;
+      Hashtbl.remove t.by_cseq c.commit_cseq)
     t.committed;
   Queue.clear t.committed;
   Predlock.cleanup_old_committed t.locks ~before:invalid_cseq;
-  t.active <- prepared;
   (* Prepared transactions survive with their SIREAD locks, but the
      dependency graph is gone: assume conflicts both in and out (§7.1). *)
-  List.iter
-    (fun p ->
-      p.in_conflicts <- [];
-      p.out_conflicts <- [];
+  iter_active t (fun p ->
+      iter_in p unlink_edge;
+      iter_out p unlink_edge;
       p.conservative_in <- true;
       p.conservative_out <- true;
-      p.ro_watchers <- [];
-      p.concurrent_rw <- [])
-    prepared
+      iter_watchers p unlink_watch;
+      iter_watching p unlink_watch)

@@ -108,6 +108,12 @@ val aborted : t -> node -> unit
 (** {1 Read-side hooks} *)
 
 val read_tuple : t -> node -> rel:string -> key:Value.t -> page:int -> unit
+
+val read_tuples_page : t -> node -> rel:string -> page:int -> keys:Value.t list -> unit
+(** Batched {!read_tuple} for a page's worth of keys from one scan: one
+    coverage-cache check for the whole batch instead of one per tuple.
+    Behaviorally identical to calling {!read_tuple} on each key in order. *)
+
 val read_relation : t -> node -> rel:string -> unit
 val read_index_gap : t -> node -> index:string -> page:int -> unit
 val read_index_key : t -> node -> index:string -> key:Value.t -> unit

@@ -142,7 +142,9 @@ and txn = {
   mutable finished : bool;
   mutable prepared_gid : string option;
   mutable undo : undo_entry list;  (** stack, newest first *)
+  mutable undo_len : int;  (** [List.length undo], maintained incrementally *)
   mutable wal : wal_op list;  (** reversed *)
+  mutable wal_len : int;  (** [List.length wal], maintained incrementally *)
   mutable savepoints : (string * int * int) list;
       (** name, undo length, wal length — newest first *)
   mutable subdepth : int;
@@ -372,7 +374,9 @@ let make_txn db ~iso ~ro ~xid ~snapshot ~sxact ~span =
       finished = false;
       prepared_gid = None;
       undo = [];
+      undo_len = 0;
       wal = [];
+      wal_len = 0;
       savepoints = [];
       subdepth = 0;
       span;
@@ -482,24 +486,24 @@ let apply_undo_entry = function
   | U_set_xmax tuple -> Heap.set_xmax tuple Heap.invalid_xid
 
 let rollback_to_length txn ~undo_len ~wal_len =
-  let rec drop_until l =
-    if List.length l > undo_len then (
-      match l with
-      | [] -> l
-      | e :: rest ->
-          apply_undo_entry e;
-          drop_until rest)
-    else l
-  in
-  txn.undo <- drop_until txn.undo;
-  let rec drop_wal l = if List.length l > wal_len then drop_wal (List.tl l) else l in
-  txn.wal <- drop_wal txn.wal
+  while txn.undo_len > undo_len do
+    match txn.undo with
+    | [] -> txn.undo_len <- 0 (* unreachable: lengths are kept in sync *)
+    | e :: rest ->
+        apply_undo_entry e;
+        txn.undo <- rest;
+        txn.undo_len <- txn.undo_len - 1
+  done;
+  while txn.wal_len > wal_len do
+    txn.wal <- List.tl txn.wal;
+    txn.wal_len <- txn.wal_len - 1
+  done
 
 (* ---- Savepoints (§7.3) -------------------------------------------------------- *)
 
 let savepoint txn name =
   ensure_running txn;
-  txn.savepoints <- (name, List.length txn.undo, List.length txn.wal) :: txn.savepoints;
+  txn.savepoints <- (name, txn.undo_len, txn.wal_len) :: txn.savepoints;
   txn.subdepth <- txn.subdepth + 1
 
 let find_savepoint txn name =
@@ -745,42 +749,74 @@ let index_scan txn ~table ~index ~lo ~hi =
         end
       in
       let tuples = ref 0 in
+      (* SSI tuple SIREAD locks are batched per heap page: one coverage
+         check per scanned page instead of one hash probe per tuple.  Keys
+         accumulate in scan order and flush after the row loop — also on
+         the failure path, so a mid-scan serialization failure leaves
+         exactly the locks the per-tuple path would have taken.  No other
+         transaction can run between accumulation and flush (the SSI scan
+         loop has no suspension points), so conflict detection is
+         unchanged. *)
+      let batch_pages = Hashtbl.create 8 in
+      let batch_order = ref [] in
+      let batch_read pk page =
+        match Hashtbl.find_opt batch_pages page with
+        | Some keys -> keys := pk :: !keys
+        | None ->
+            Hashtbl.add batch_pages page (ref [ pk ]);
+            batch_order := page :: !batch_order
+      in
+      let flush_batch node =
+        List.iter
+          (fun page ->
+            match Hashtbl.find_opt batch_pages page with
+            | Some keys ->
+                Ssi.read_tuples_page db.ssi_mgr node ~rel ~page ~keys:(List.rev !keys)
+            | None -> ())
+          (List.rev !batch_order)
+      in
       let rows =
-        List.filter_map
-          (fun (ikey, pk) ->
-            (* Under 2PL the tuple lock must precede the visibility check:
-               acquiring it can block, and the row must then be read as of
-               the post-wait state. *)
-            if is_2pl txn then begin
-              Lockmgr.acquire db.locks ~owner:txn.txn_xid (Lockmgr.Tuple (rel, pk)) Lockmgr.S;
-              refresh_stmt_snapshot txn
-            end;
-            match Heap.head tbl.heap pk with
-            | None -> None
-            | Some head -> (
-                incr tuples;
-                let visible, conflicts = Visibility.latest_visible db.clog txn.snapshot head in
-                (match tracking txn with
-                | Some node -> conflict_out_many node db conflicts
-                | None -> ());
-                match visible with
+        Fun.protect
+          ~finally:(fun () ->
+            match tracking txn with Some node -> flush_batch node | None -> ())
+          (fun () ->
+            List.filter_map
+              (fun (ikey, pk) ->
+                (* Under 2PL the tuple lock must precede the visibility check:
+                   acquiring it can block, and the row must then be read as of
+                   the post-wait state. *)
+                if is_2pl txn then begin
+                  Lockmgr.acquire db.locks ~owner:txn.txn_xid (Lockmgr.Tuple (rel, pk))
+                    Lockmgr.S;
+                  refresh_stmt_snapshot txn
+                end;
+                match Heap.head tbl.heap pk with
                 | None -> None
-                | Some (v, deleter) ->
-                    (* Entries of old versions may no longer describe the
-                       visible version: filter on the current value. *)
-                    if Value.equal v.row.(idx.col) ikey then begin
-                      (match tracking txn with
-                      | Some node ->
-                          (match deleter with
-                          | Some w -> Ssi.conflict_out db.ssi_mgr node ~writer:w
+                | Some head -> (
+                    incr tuples;
+                    let visible, conflicts =
+                      Visibility.latest_visible db.clog txn.snapshot head
+                    in
+                    (match tracking txn with
+                    | Some node -> conflict_out_many node db conflicts
+                    | None -> ());
+                    match visible with
+                    | None -> None
+                    | Some (v, deleter) ->
+                        (* Entries of old versions may no longer describe the
+                           visible version: filter on the current value. *)
+                        if Value.equal v.row.(idx.col) ikey then begin
+                          (match tracking txn with
+                          | Some node ->
+                              (match deleter with
+                              | Some w -> Ssi.conflict_out db.ssi_mgr node ~writer:w
+                              | None -> ());
+                              batch_read pk (Heap.page_of_tid v.tid)
                           | None -> ());
-                          Ssi.read_tuple db.ssi_mgr node ~rel ~key:pk
-                            ~page:(Heap.page_of_tid v.tid)
-                      | None -> ());
-                      Some (Array.copy v.row)
-                    end
-                    else None))
-          entries
+                          Some (Array.copy v.row)
+                        end
+                        else None))
+              entries)
       in
       finish_op db ~tuples:!tuples
         ~locks:
@@ -844,6 +880,7 @@ let index_insert txn idx ~ikey ~pk =
      check may raise, and the rollback must remove the physical entry. *)
   if added then begin
     txn.undo <- U_index_entry (idx, ikey, pk) :: txn.undo;
+    txn.undo_len <- txn.undo_len + 1;
     (match tracking txn with
     | Some node ->
         if idx.next_key then
@@ -890,6 +927,7 @@ let insert txn ~table row =
       in
       let tuple = Heap.insert_version tbl.heap ~key ~row:(Array.copy row) ~xmin:txn.txn_xid in
       txn.undo <- U_new_version (tbl, key) :: txn.undo;
+      txn.undo_len <- txn.undo_len + 1;
       (match tracking txn with
       | Some node ->
           Ssi.write_check db.ssi_mgr node ~rel:table ~key ~page:(Heap.page_of_tid tuple.tid);
@@ -902,6 +940,7 @@ let insert txn ~table row =
         (fun idx -> index_insert txn idx ~ikey:(Array.copy row).(idx.col) ~pk:key)
         (all_indexes tbl);
       txn.wal <- Wal_insert { table; key; row = Array.copy row } :: txn.wal;
+      txn.wal_len <- txn.wal_len + 1;
       finish_op db ~tuples:1
         ~locks:(if tracking txn <> None || is_2pl txn then 2 + List.length tbl.secondary else 0)
         ~pages:(2 + List.length tbl.secondary))
@@ -997,11 +1036,14 @@ let update txn ~table ~key ~f =
             invalid_arg "Engine.update: primary key must not change";
           Heap.set_xmax v txn.txn_xid;
           txn.undo <- U_set_xmax v :: txn.undo;
+          txn.undo_len <- txn.undo_len + 1;
           let tuple = Heap.insert_version tbl.heap ~key ~row:row' ~xmin:txn.txn_xid in
           txn.undo <- U_new_version (tbl, key) :: txn.undo;
+          txn.undo_len <- txn.undo_len + 1;
           List.iter (fun idx -> index_insert txn idx ~ikey:row'.(idx.col) ~pk:key) (all_indexes tbl);
           ignore tuple;
           txn.wal <- Wal_update { table; key; row = Array.copy row' } :: txn.wal;
+          txn.wal_len <- txn.wal_len + 1;
           finish_op db ~tuples:2
             ~locks:(if tracking txn <> None || is_2pl txn then 3 + List.length tbl.secondary else 0)
             ~pages:(2 + List.length tbl.secondary);
@@ -1022,7 +1064,9 @@ let delete txn ~table ~key =
       | Some v ->
           Heap.set_xmax v txn.txn_xid;
           txn.undo <- U_set_xmax v :: txn.undo;
+          txn.undo_len <- txn.undo_len + 1;
           txn.wal <- Wal_delete { table; key } :: txn.wal;
+          txn.wal_len <- txn.wal_len + 1;
           finish_op db ~tuples:1
             ~locks:(if tracking txn <> None || is_2pl txn then 2 else 0)
             ~pages:1;
@@ -1133,7 +1177,9 @@ let abort txn =
     trace db "x%d abort" txn.txn_xid;
     List.iter apply_undo_entry txn.undo;
     txn.undo <- [];
+    txn.undo_len <- 0;
     txn.wal <- [];
+    txn.wal_len <- 0;
     Clog.abort db.clog txn.txn_xid;
     (match txn.sxact with Some node -> Ssi.aborted db.ssi_mgr node | None -> ());
     (match txn.prepared_gid with
@@ -1267,7 +1313,9 @@ let crash_recover db =
     (fun txn ->
       List.iter apply_undo_entry txn.undo;
       txn.undo <- [];
+      txn.undo_len <- 0;
       txn.wal <- [];
+      txn.wal_len <- 0;
       Clog.abort db.clog txn.txn_xid;
       txn.finished <- true;
       txn.crashed <- true;
@@ -1419,7 +1467,7 @@ let dump_active db =
           txn.ro txn.finished
           (txn.prepared_gid <> None)
           (match txn.write_waiting_for with None -> "-" | Some w -> string_of_int w)
-          (List.length txn.undo)
+          txn.undo_len
           (Waitq.id txn.commit_wq)
       in
       state :: acc)

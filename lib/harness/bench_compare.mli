@@ -1,0 +1,68 @@
+(** Benchmark-regression comparison over [BENCH_<workload>.json] summaries.
+
+    The workload benchmarks run on the simulator's virtual clock, so their
+    throughput is a deterministic function of the seed: a committed
+    baseline can be compared against a fresh run with a tight tolerance
+    and zero flake risk.  See EXPERIMENTS.md ("Performance trajectory")
+    for the refresh procedure. *)
+
+(** {1 Minimal JSON} *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Parse_error of string
+
+val parse : string -> json
+(** Recursive-descent parser for the JSON subset the harness emits.
+    Raises {!Parse_error} on malformed input. *)
+
+val member : string -> json -> json option
+
+(** {1 Summaries} *)
+
+type mode_summary = {
+  mode : string;
+  throughput_tps : float;
+  committed : int;
+  failure_rate : float;
+}
+
+type summary = { workload : string; modes : mode_summary list }
+
+exception Bad_summary of string
+
+val load_summary : string -> summary
+(** Read and parse one [BENCH_<workload>.json] file.  Raises
+    {!Bad_summary} (or [Sys_error]) when unusable. *)
+
+(** {1 Comparison} *)
+
+type verdict = Ok_within_tolerance | Regressed | Improved | Missing_baseline
+
+type comparison = {
+  c_workload : string;
+  c_mode : string;
+  baseline_tps : float;
+  current_tps : float;
+  delta_pct : float;
+  verdict : verdict;
+}
+
+val compare_summaries :
+  tolerance:float -> baseline:summary -> current:summary -> comparison list
+(** [tolerance] is a fraction: [0.15] marks a mode [Regressed] when its
+    throughput dropped more than 15% below baseline, and [Improved] when
+    it rose more than 15% (a hint to refresh the baseline, not a
+    failure). *)
+
+val any_regression : comparison list -> bool
+val verdict_name : verdict -> string
+
+val render_report : tolerance:float -> comparison list -> string
+(** Markdown report (the CI artifact). *)

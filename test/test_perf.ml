@@ -1,0 +1,301 @@
+(* Hot-path optimization parity and complexity tests.
+
+   The O(1) rewrites of the conflict-tracking and lock-acquisition paths
+   (intrusive edge lists in the SSI manager, the per-owner coverage cache
+   and page-batched SIREAD acquisition in the lock manager, incremental
+   undo/WAL length accounting in the engine) must be pure performance
+   changes: every observable behavior — locks held, readers reported,
+   commits, victims, serialization-graph verdicts — has to match the
+   straightforward implementations exactly, on the same seeds, byte for
+   byte.  These tests pin that down:
+
+   - a QCheck property driving a batched and a sequential lock manager
+     through identical random scripts (promotions, summarization, cleanup
+     included) and demanding identical lock tables at every probe;
+   - a QCheck property replaying random oracle histories under SSI twice
+     and demanding identical committed histories plus an acyclic DSG;
+   - workload-driver replays (sibench, TPC-C) whose full result records —
+     commits, victims by reason, latency percentiles — must be identical
+     across runs on the virtual clock;
+   - a budgeted deep-savepoint test that fails if rollback cost returns
+     to quadratic in the undo-log length. *)
+
+open Ssi_storage
+open Ssi_workload
+module E = Ssi_engine.Engine
+module P = Ssi_core.Predlock
+open Test_oracle
+
+let vi i = Value.Int i
+
+(* ---- Batched vs sequential SIREAD acquisition ------------------------------ *)
+
+(* Tiny promotion thresholds so random scripts cross every granularity
+   boundary (tuple->page->relation) within a handful of operations. *)
+let small_config =
+  {
+    P.max_tuple_locks_per_page = 2;
+    max_page_locks_per_relation = 2;
+    max_page_locks_per_index = 2;
+  }
+
+(* Scripts address transactions by slot; the interpreter maps slots to
+   fresh xids and retires a slot's xid on release/summarize, matching real
+   usage where an xid never returns after its transaction ends. *)
+type pop =
+  | Batch of int * string * int * int list  (** slot, rel, page, keys *)
+  | Lock_page of int * string * int
+  | Lock_index_key of int * string * int
+  | Probe of string * int * int  (** rel, key, page *)
+  | Release of int
+  | Summarize of int
+  | Cleanup
+
+let print_pop = function
+  | Batch (o, rel, page, keys) ->
+      Printf.sprintf "Batch(%d,%s,%d,[%s])" o rel page
+        (String.concat ";" (List.map string_of_int keys))
+  | Lock_page (o, rel, page) -> Printf.sprintf "Page(%d,%s,%d)" o rel page
+  | Lock_index_key (o, idx, k) -> Printf.sprintf "IdxKey(%d,%s,%d)" o idx k
+  | Probe (rel, k, page) -> Printf.sprintf "Probe(%s,%d,%d)" rel k page
+  | Release o -> Printf.sprintf "Release(%d)" o
+  | Summarize o -> Printf.sprintf "Summarize(%d)" o
+  | Cleanup -> "Cleanup"
+
+let slots = 4
+
+let pop_gen =
+  QCheck.Gen.(
+    let slot = int_range 0 (slots - 1) in
+    let rel = oneofl [ "r"; "s" ] in
+    let page = int_range 0 3 in
+    let key = int_range 0 9 in
+    frequency
+      [
+        ( 6,
+          map2
+            (fun (o, r) (p, ks) -> Batch (o, r, p, ks))
+            (pair slot rel)
+            (pair page (list_size (int_range 1 6) key)) );
+        (2, map (fun (o, (r, p)) -> Lock_page (o, r, p)) (pair slot (pair rel page)));
+        (2, map (fun (o, k) -> Lock_index_key (o, "i", k)) (pair slot key));
+        (3, map (fun (r, (k, p)) -> Probe (r, k, p)) (pair rel (pair key page)));
+        (1, map (fun o -> Release o) slot);
+        (1, map (fun o -> Summarize o) slot);
+        (1, return Cleanup);
+      ])
+
+let pops_arb =
+  QCheck.make
+    ~print:QCheck.Print.(list print_pop)
+    QCheck.Gen.(list_size (int_range 1 60) pop_gen)
+
+let normalized_dump t =
+  List.sort compare
+    (List.map (fun (target, xids, oc) -> (target, List.sort compare xids, oc)) (P.dump t))
+
+let normalized_readers (r : P.readers) = (List.sort compare r.P.xids, r.P.old_committed)
+
+(* Run one script against two lock managers: [a] takes every tuple read
+   through the one-at-a-time path, [b] through {!P.lock_tuples_page}.
+   Everything else (page/index locks, release, summarization, cleanup) is
+   applied identically.  The lock tables must agree at every probe and at
+   the end — including the promotion counter, so the batch path is not
+   allowed to promote differently. *)
+let prop_batch_equals_sequential =
+  QCheck.Test.make ~name:"lock_tuples_page ≡ sequential lock_tuple" ~count:300 pops_arb
+    (fun pops ->
+      let a = P.create ~config:small_config () in
+      let b = P.create ~config:small_config () in
+      let next_xid = ref (slots + 1) in
+      let owners = Array.init slots (fun i -> i + 1) in
+      let cseq = ref 0 in
+      let retire slot =
+        owners.(slot) <- !next_xid;
+        incr next_xid
+      in
+      let ok = ref true in
+      let check_probe ~rel ~key ~page =
+        let ra = P.readers_for_write a ~rel ~key ~page in
+        let rb = P.readers_for_write b ~rel ~key ~page in
+        if normalized_readers ra <> normalized_readers rb then ok := false
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | Batch (slot, rel, page, keys) ->
+              let owner = owners.(slot) in
+              let keys = List.map vi keys in
+              List.iter (fun key -> P.lock_tuple a ~owner ~rel ~key ~page) keys;
+              P.lock_tuples_page b ~owner ~rel ~page ~keys
+          | Lock_page (slot, rel, page) ->
+              P.lock_page a ~owner:owners.(slot) ~rel ~page;
+              P.lock_page b ~owner:owners.(slot) ~rel ~page
+          | Lock_index_key (slot, index, k) ->
+              P.lock_index_key a ~owner:owners.(slot) ~index ~key:(vi k);
+              P.lock_index_key b ~owner:owners.(slot) ~index ~key:(vi k)
+          | Probe (rel, k, page) -> check_probe ~rel ~key:(vi k) ~page
+          | Release slot ->
+              P.release_owner a owners.(slot);
+              P.release_owner b owners.(slot);
+              retire slot
+          | Summarize slot ->
+              incr cseq;
+              P.summarize_owner a owners.(slot) ~cseq:!cseq;
+              P.summarize_owner b owners.(slot) ~cseq:!cseq;
+              retire slot
+          | Cleanup ->
+              P.cleanup_old_committed a ~before:(!cseq + 1);
+              P.cleanup_old_committed b ~before:(!cseq + 1))
+        pops;
+      (* Exhaustive final probe over the whole key space. *)
+      List.iter
+        (fun rel ->
+          for k = 0 to 9 do
+            for page = 0 to 3 do
+              check_probe ~rel ~key:(vi k) ~page
+            done
+          done)
+        [ "r"; "s" ];
+      if normalized_dump a <> normalized_dump b then
+        QCheck.Test.fail_report "lock tables diverged";
+      if P.promotions a <> P.promotions b then
+        QCheck.Test.fail_report "promotion counts diverged";
+      if P.total_lock_count a <> P.total_lock_count b then
+        QCheck.Test.fail_report "lock counts diverged";
+      if not !ok then QCheck.Test.fail_report "readers_for_write diverged at a probe";
+      true)
+
+(* ---- Oracle histories: byte-identical replay, acyclic DSG ------------------ *)
+
+let oracle_cfgs =
+  [|
+    ("default", Oracle.default_cfg);
+    ("contended", Oracle.contended_cfg);
+    ("summarizing", Oracle.summarizing_cfg);
+    ("nextkey", Oracle.nextkey_cfg);
+  |]
+
+(* Under SSI every random history must (a) replay identically from its
+   seed — the intrusive edge lists and caches may not perturb victim
+   selection or wake order — and (b) pass the multiversion
+   serialization-graph check. *)
+let prop_ssi_replay_and_dsg =
+  QCheck.Test.make ~name:"SSI histories replay byte-identically and stay serializable"
+    ~count:24
+    QCheck.(
+      make
+        ~print:(fun (seed, ci) ->
+          Printf.sprintf "seed=%d cfg=%s" seed (fst oracle_cfgs.(ci)))
+        Gen.(pair (int_range 1 10_000) (int_range 0 (Array.length oracle_cfgs - 1))))
+    (fun (seed, ci) ->
+      let _, cfg = oracle_cfgs.(ci) in
+      let cfg = { cfg with Oracle.seed } in
+      let h1 = Oracle.run_history ~isolation:E.Serializable cfg in
+      let h2 = Oracle.run_history ~isolation:E.Serializable cfg in
+      if h1.Oracle.committed <> h2.Oracle.committed then
+        QCheck.Test.fail_report "same seed produced different committed histories";
+      match Oracle.check_serializable h1 with
+      | Ok () -> true
+      | Error cycle -> QCheck.Test.fail_report (Oracle.pp_cycle h1 cycle))
+
+(* ---- Workload-driver replay: full result records --------------------------- *)
+
+let replay_bench mode =
+  {
+    Driver.default_bench with
+    Driver.mode;
+    workers = 4;
+    duration = 0.3;
+    warmup = 0.05;
+    cpu_cores = 2;
+  }
+
+(* [compare] (not [=]) so a nan latency field — no commits in window —
+   still counts as equal to itself. *)
+let check_replay name run =
+  let r1 : Driver.result = run () in
+  let r2 : Driver.result = run () in
+  Alcotest.(check bool)
+    (name ^ ": identical result records across replays")
+    true
+    (compare r1 r2 = 0);
+  Alcotest.(check bool) (name ^ ": ran transactions") true (r1.Driver.committed > 0)
+
+let test_sibench_replay () =
+  List.iter
+    (fun mode ->
+      check_replay
+        ("sibench/" ^ Driver.mode_name mode)
+        (fun () ->
+          Driver.run ~setup:(Sibench.setup ~rows:40)
+            ~specs:(Sibench.specs ~rows:40 ~chunk:10 ())
+            (replay_bench mode)))
+    [ Driver.SSI; Driver.SSI_no_ro_opt ]
+
+let test_tpcc_replay () =
+  check_replay "tpcc/SSI" (fun () ->
+      Driver.run
+        ~setup:(Tpcc.setup ~warehouses:2)
+        ~specs:(Tpcc.specs ~warehouses:2 ~ro_fraction:0.3)
+        (replay_bench Driver.SSI))
+
+(* ---- Deep savepoint rollback stays linear ---------------------------------- *)
+
+(* 50 savepoints of 1,000 inserts each, rolled back one level at a time
+   from the deepest: 50,000 undo entries total.  The pre-fix
+   rollback_to_length recomputed the undo-list length on every popped
+   entry, ~1.25e9 list steps for this shape — minutes of CPU.  The
+   incremental length counters make it ~5e4 steps.  The generous budget
+   only fails on a complexity regression, not on a slow machine. *)
+let test_deep_savepoint_rollback_linear () =
+  let levels = 50 and per_level = 1_000 in
+  let db = E.create () in
+  E.create_table db ~name:"big" ~cols:[ "k"; "v" ] ~key:"k";
+  let sp i = Printf.sprintf "sp%d" i in
+  let elapsed = ref 0. in
+  E.with_txn ~isolation:E.Read_committed db (fun t ->
+      for i = 0 to levels - 1 do
+        E.savepoint t (sp i);
+        for j = 0 to per_level - 1 do
+          E.insert t ~table:"big" [| vi ((i * per_level) + j); vi i |]
+        done
+      done;
+      let t0 = Sys.time () in
+      for i = levels - 1 downto 0 do
+        E.rollback_to_savepoint t (sp i)
+      done;
+      elapsed := Sys.time () -. t0;
+      Alcotest.(check bool)
+        "all inserts undone" true
+        (E.read t ~table:"big" ~key:(vi 0) = None
+        && E.read t ~table:"big" ~key:(vi ((levels * per_level) - 1)) = None);
+      (* The transaction is still usable after unwinding everything. *)
+      E.insert t ~table:"big" [| vi 0; vi 42 |]);
+  E.with_txn db (fun t ->
+      match E.read t ~table:"big" ~key:(vi 0) with
+      | Some row -> Alcotest.(check int) "post-rollback insert committed" 42 (Value.as_int row.(1))
+      | None -> Alcotest.fail "post-rollback insert lost");
+  Alcotest.(check bool)
+    (Printf.sprintf "deep rollback linear (%.2fs for %d entries)" !elapsed
+       (levels * per_level))
+    true (!elapsed < 5.0)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "perf"
+    [
+      qsuite "parity"
+        [ prop_batch_equals_sequential; prop_ssi_replay_and_dsg ];
+      ( "replay",
+        [
+          Alcotest.test_case "sibench driver replay" `Quick test_sibench_replay;
+          Alcotest.test_case "tpcc driver replay" `Quick test_tpcc_replay;
+        ] );
+      ( "complexity",
+        [
+          Alcotest.test_case "deep savepoint rollback linear" `Quick
+            test_deep_savepoint_rollback_linear;
+        ] );
+    ]
