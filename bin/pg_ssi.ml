@@ -227,13 +227,70 @@ let row_count eng =
         (fun acc t -> acc + List.length (E.seq_scan txn ~table:t ()))
         0 (E.table_names eng))
 
+(* ---- recover / torture --------------------------------------------------- *)
+
+module Torture = Ssi_fault.Torture
+module Wal = Ssi_wal.Wal
+
+let run_recover file =
+  let wal = try Wal.load file with Sys_error m -> prerr_endline m; exit 1 in
+  let db, r = E.recover wal in
+  Format.printf "recovered from %s@." file;
+  Format.printf "  checkpoint cseq    %s@."
+    (match r.E.rr_checkpoint_cseq with Some c -> string_of_int c | None -> "(no checkpoint)");
+  Format.printf "  records replayed   %d@." r.E.rr_records;
+  Format.printf "  tail truncated     %d bytes@." r.E.rr_truncated;
+  Format.printf "  prepared restored  %d%s@." r.E.rr_prepared
+    (match E.prepared_gids db with
+    | [] -> ""
+    | gids -> " (" ^ String.concat ", " (List.sort compare gids) ^ ")");
+  Format.printf "  last cseq          %d@." r.E.rr_last_cseq;
+  Format.printf "  epoch              %d@." r.E.rr_epoch;
+  Format.printf "tables:@.";
+  List.iter
+    (fun t ->
+      let n = E.with_txn ~isolation:E.Repeatable_read db (fun txn -> E.row_count txn ~table:t) in
+      Format.printf "  %-18s %d rows@." t n)
+    (List.sort compare (E.table_names db));
+  Format.printf "@.";
+  print_string (Ssi_obs.Obs.render (E.obs db));
+  0
+
+let run_torture seed kill_points kill_every torn_writes wal_out =
+  Format.printf "recovery torture seed=%d kill-points=%d stride=%d torn-writes=%b@." seed
+    kill_points kill_every torn_writes;
+  let outcomes =
+    Torture.sweep ?wal_out ~max_kills:kill_points ~kill_every ~seed ~with_damage:torn_writes ()
+  in
+  List.iter (fun o -> Format.printf "  %s@." (Torture.pp_outcome o)) outcomes;
+  let crashes = List.length (List.filter (fun o -> o.Torture.o_crashed) outcomes) in
+  let damaged = List.length (List.filter (fun o -> o.Torture.o_damage <> None) outcomes) in
+  let truncations = List.length (List.filter (fun o -> o.Torture.o_truncated > 0) outcomes) in
+  Format.printf "ran %d recoveries: %d crashed, %d damaged tails, %d truncations@."
+    (List.length outcomes) crashes damaged truncations;
+  (match wal_out with
+  | Some f -> Format.printf "first run's log saved to %s@." f
+  | None -> ());
+  let bad = List.filter (fun o -> not (Torture.invariants_ok o)) outcomes in
+  if bad = [] then begin
+    Format.printf "all durability invariants held@.";
+    0
+  end
+  else begin
+    Format.printf "INVARIANT VIOLATIONS:@.";
+    List.iter (fun o -> Format.printf "  %s@." (Torture.pp_outcome o)) bad;
+    1
+  end
+
 let print_promotion (p : Replica.promotion) =
   Format.printf
     "  failover           promoted at cseq %d: %d rows (safe snapshot), %d commits discarded@."
     p.Replica.promote_cseq (row_count p.Replica.engine) p.Replica.discarded_commits
 
 let run_chaos seed duration workers failover replicas quorum partitions net_chaos explain
-    trace_out trace_capacity =
+    trace_out trace_capacity kill_points kill_every torn_writes wal_out =
+  if kill_points > 0 then run_torture seed kill_points kill_every torn_writes wal_out
+  else begin
   let rows = 100 in
   let plan = F.gen_plan ~seed ~horizon:duration ~failover ~partitions ~net_chaos () in
   Format.printf "chaos seed=%d horizon=%.1fs workers=%d replicas=%d@." seed duration workers
@@ -387,6 +444,7 @@ let run_chaos seed duration workers failover replicas quorum partitions net_chao
             (List.length (Ssi_obs.Obs.Spans.all obs))
             (Ssi_obs.Obs.Spans.dropped obs));
   0
+  end
 
 (* ---- sql REPL ------------------------------------------------------------ *)
 
@@ -560,15 +618,57 @@ let chaos_cmd =
                "Size of the trace ring and span table (default 4096 each); exports and \
                 explanations need this above the run's event volume")
   in
+  let kill_points_arg =
+    Arg.(value & opt int 0
+         & info [ "kill-points" ]
+             ~doc:
+               "Recovery torture: crash the durable log at up to $(docv) successive engine \
+                fault points (one crash/recover cycle each) and check the durability \
+                invariants, instead of running a fault plan (0 = off)"
+             ~docv:"N")
+  in
+  let kill_every_arg =
+    Arg.(value & opt int 3
+         & info [ "kill-every" ]
+             ~doc:"Stride between successive kill points in the torture sweep" ~docv:"K")
+  in
+  let torn_writes_arg =
+    Arg.(value & flag
+         & info [ "torn-writes" ]
+             ~doc:
+               "With $(b,--kill-points): damage the flush in flight at each crash (seeded \
+                torn write, short write or bit flip)")
+  in
+  let wal_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "wal-out" ] ~docv:"FILE"
+             ~doc:
+               "With $(b,--kill-points): save the first run's crashed log image to $(docv) \
+                for $(b,pg_ssi recover)")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run a workload under a seeded fault plan (crashes, I/O faults, memory pressure, \
-          replica lag, network partitions and chaos) and report resilience counters")
+          replica lag, network partitions and chaos) and report resilience counters; with \
+          $(b,--kill-points), run the kill-point recovery torture sweep instead")
     Term.(
       const run_chaos $ seed_arg $ duration_arg $ workers_arg $ failover_arg $ replicas_arg
       $ quorum_arg $ partitions_arg $ net_chaos_arg $ explain_arg $ trace_out_arg
-      $ trace_capacity_arg)
+      $ trace_capacity_arg $ kill_points_arg $ kill_every_arg $ torn_writes_arg $ wal_out_arg)
+
+let recover_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Durable-log image (e.g. from chaos $(b,--wal-out))")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Cold-start an engine from a durable-log image: truncate any damaged tail, replay \
+          from the latest checkpoint, restore prepared transactions, and print the recovery \
+          report and row counts")
+    Term.(const run_recover $ file_arg)
 
 let sql_cmd =
   let file_arg =
@@ -594,5 +694,6 @@ let () =
             trace_cmd;
             explain_cmd;
             chaos_cmd;
+            recover_cmd;
             sql_cmd;
           ]))

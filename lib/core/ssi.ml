@@ -994,6 +994,16 @@ let prepare t node =
   precommit t node;
   node.status <- Prepared
 
+let restore_prepared _t node =
+  (* Cold-start recovery of a prepared 2PC transaction (§7.1): the
+     dependency graph did not survive the crash, so the freshly registered
+     node is marked prepared with conflicts assumed both in and out.  Its
+     SIREAD locks are reinstalled separately from the persisted 2PC state. *)
+  node.status <- Prepared;
+  node.wrote <- true;
+  node.conservative_in <- true;
+  node.conservative_out <- true
+
 let committed t node ~commit_cseq =
   node.status <- Committed;
   node.commit_cseq <- commit_cseq;

@@ -93,6 +93,12 @@ val prepare : t -> node -> unit
     transaction prepared.  A prepared transaction can no longer be chosen
     as an abort victim (§7.1). *)
 
+val restore_prepared : t -> node -> unit
+(** Cold-start recovery: mark a freshly {!register}ed node as a prepared
+    transaction restored from the durable 2PC state, with the conservative
+    both-ways conflict flags of §7.1.  The caller reinstalls its persisted
+    SIREAD locks via {!locks}. *)
+
 val precommit : t -> node -> unit
 (** The commit-time serialization-failure check (§5.4 rule 1): raises if
     committing now would complete a dangerous structure that cannot be

@@ -8,6 +8,8 @@ module Ssi = Ssi_core.Ssi
 module Btree = Ssi_btree.Btree
 module Lockmgr = Ssi_lockmgr.Lockmgr
 module Obs = Ssi_obs.Obs
+module Predlock = Ssi_core.Predlock
+module Wal = Ssi_wal.Wal
 
 type isolation = Read_committed | Repeatable_read | Serializable | Serializable_2pl
 
@@ -130,6 +132,7 @@ type t = {
   mutable commit_wait : (commit_record -> unit) option;
   mutable fault_injector : (op:string -> unit) option;
   mutable tracer : (string -> unit) option;
+  mutable wal_log : Wal.t option;  (** the durable log, when attached *)
 }
 
 and txn = {
@@ -155,8 +158,8 @@ and txn = {
   mutable write_waiting_for : Heap.xid option;
       (** the transaction whose tuple write lock this one is waiting on *)
   mutable crashed : bool;
-      (** the transaction vanished in {!crash_recover}: the session's next
-          operation fails with a retryable [Transient_fault] *)
+      (** the transaction vanished in {!simulate_connection_loss}: the
+          session's next operation fails with a retryable [Transient_fault] *)
   commit_wq : Waitq.t;  (** woken when this transaction commits or aborts *)
 }
 
@@ -204,9 +207,16 @@ let create ?(scheduler = Waitq.direct) ?(config = default_config) ?obs () =
     commit_wait = None;
     fault_injector = None;
     tracer = None;
+    wal_log = None;
   }
 
 let set_on_commit t f = t.on_commit <- t.on_commit @ [ f ]
+
+let attach_wal t w =
+  t.wal_log <- Some w;
+  Wal.set_obs w t.obs
+
+let wal_log t = t.wal_log
 let set_commit_gate t f = t.commit_gate <- f
 let set_commit_wait t f = t.commit_wait <- f
 let set_fault_injector t f = t.fault_injector <- f
@@ -256,6 +266,38 @@ let finish_op db ~tuples ~locks ~pages =
     +. (float_of_int locks *. c.cpu_per_lock));
   charge_io db (float_of_int pages *. c.miss_ratio *. c.io_per_page)
 
+(* ---- Durable log plumbing ------------------------------------------------- *)
+
+let wal_op_to_log = function
+  | Wal_insert { table; key; row } -> Wal.Insert { table; key; row }
+  | Wal_update { table; key; row } -> Wal.Update { table; key; row }
+  | Wal_delete { table; key } -> Wal.Delete { table; key }
+
+let wal_op_of_log = function
+  | Wal.Insert { table; key; row } -> Wal_insert { table; key; row }
+  | Wal.Update { table; key; row } -> Wal_update { table; key; row }
+  | Wal.Delete { table; key } -> Wal_delete { table; key }
+
+(* The device died mid-operation: the in-memory commit can never become
+   durable, so the client must treat the attempt as failed and retry
+   against whatever recovers. *)
+let wal_lost () = raise (Transient_fault { op = "wal"; reason = "durable log lost in crash" })
+
+(* DDL is rare: log it and fsync immediately rather than group-commit. *)
+let wal_ddl db record =
+  match db.wal_log with
+  | None -> ()
+  | Some w -> (
+      try
+        ignore (Wal.append w record);
+        Wal.flush w
+      with Wal.Lost -> wal_lost ())
+
+(* Block until the record at [lsn] is on the durable device (group-commit
+   flush batching under the simulator; a no-op when appends flush
+   synchronously). *)
+let wal_wait db w lsn = try Wal.wait_durable w db.sched lsn with Wal.Lost -> wal_lost ()
+
 (* ---- Schema --------------------------------------------------------------- *)
 
 let table_of db name =
@@ -294,7 +336,8 @@ let create_table db ~name ~cols ~key =
   let tbl = { heap; pk_index; secondary = [] } in
   hook_split db pk_index;
   Hashtbl.add db.tables name tbl;
-  Hashtbl.add db.idx_by_name pk_name pk_index
+  Hashtbl.add db.idx_by_name pk_name pk_index;
+  wal_ddl db (Wal.Schema { d_name = name; d_cols = cols; d_key = key })
 
 let create_index db ~table ~name ~column ?(predicate_locks = true) ?next_key_gaps () =
   let tbl = table_of db table in
@@ -317,7 +360,19 @@ let create_index db ~table ~name ~column ?(predicate_locks = true) ?next_key_gap
         (fun (v : Heap.tuple) -> ignore (Btree.insert index.tree ~key:v.row.(col) ~pk:v.key))
         (Heap.versions head));
   tbl.secondary <- index :: tbl.secondary;
-  Hashtbl.add db.idx_by_name name index
+  Hashtbl.add db.idx_by_name name index;
+  wal_ddl db
+    (Wal.Index
+       {
+         table;
+         def =
+           {
+             i_name = name;
+             i_column = column;
+             i_pred_locks = predicate_locks;
+             i_next_key = index.next_key;
+           };
+       })
 
 let drop_index db ~name =
   match Hashtbl.find_opt db.idx_by_name name with
@@ -1171,6 +1226,43 @@ let emit_wal db txn cseq ~span =
       List.iter (fun hook -> hook record) hooks;
       Some record
 
+(* Stage the durable commit record.  Called with no suspension point
+   between [Clog.commit] and here, so the log's append order IS cseq
+   order — the foundation of the recovery prefix invariant.  Every commit
+   is logged, including read-only/empty ones: replicas and recovery both
+   rely on a dense cseq sequence. *)
+let wal_append_commit db txn cseq ~gid =
+  match db.wal_log with
+  | None -> None
+  | Some w -> (
+      let record =
+        Wal.Commit
+          {
+            c_xid = txn.txn_xid;
+            c_cseq = cseq;
+            c_gid = gid;
+            c_ops = List.rev_map wal_op_to_log txn.wal;
+            c_safe = not (serializable_rw_active db);
+          }
+      in
+      try Some (w, Wal.append w record) with Wal.Lost -> wal_lost ())
+
+(* The SIREAD locks held by [xid], straight from the predicate-lock table —
+   what PostgreSQL persists in the 2PC state file (§5.7). *)
+let siread_targets db xid =
+  List.filter_map
+    (fun (target, holders, _) -> if List.mem xid holders then Some target else None)
+    (Predlock.dump (Ssi.locks db.ssi_mgr))
+
+let prepared_image_of db txn gid =
+  {
+    Wal.p_xid = txn.txn_xid;
+    p_gid = gid;
+    p_snap_cseq = txn.snapshot.Snapshot.horizon;
+    p_ops = List.rev_map wal_op_to_log txn.wal;
+    p_sireads = siread_targets db txn.txn_xid;
+  }
+
 let abort txn =
   if not txn.finished then begin
     let db = txn.db in
@@ -1231,8 +1323,12 @@ let commit txn =
   finish_txn txn;
   Obs.incr db.metrics.m_commits;
   Obs.trace db.obs "txn.commit" ~fields:[ ("xid", Obs.I txn.txn_xid); ("cseq", Obs.I cseq) ];
+  let wal_lsn = wal_append_commit db txn cseq ~gid:None in
   let record = emit_wal db txn cseq ~span:(Option.map Obs.Span.ctx cspan) in
   charge_io db db.cfg.costs.io_commit;
+  (* Group commit: the record is staged; the acknowledgment waits for the
+     flush that makes it durable. *)
+  (match wal_lsn with Some (w, lsn) -> wal_wait db w lsn | None -> ());
   (* Quorum-synchronous replication: the commit is locally durable and
      visible; the acknowledgment to the client may still be held until
      enough replicas confirm (or the hold deadline passes). *)
@@ -1258,7 +1354,17 @@ let prepare txn ~gid =
      abort txn;
      raise e);
   txn.prepared_gid <- Some gid;
-  Hashtbl.add db.prepared_by_gid gid txn
+  Hashtbl.add db.prepared_by_gid gid txn;
+  (* The 2PC state record — redo ops, snapshot and SIREAD locks — must be
+     durable before PREPARE is acknowledged to the coordinator (§5.7). *)
+  match db.wal_log with
+  | None -> ()
+  | Some w ->
+      let lsn =
+        try Wal.append w (Wal.Prepare (prepared_image_of db txn gid))
+        with Wal.Lost -> wal_lost ()
+      in
+      wal_wait db w lsn
 
 let prepared_txn db gid =
   match Hashtbl.find_opt db.prepared_by_gid gid with
@@ -1283,8 +1389,10 @@ let commit_prepared db ~gid =
   Obs.incr db.metrics.m_commits;
   Obs.trace db.obs "txn.commit"
     ~fields:[ ("xid", Obs.I txn.txn_xid); ("cseq", Obs.I cseq); ("gid", Obs.S gid) ];
+  let wal_lsn = wal_append_commit db txn cseq ~gid:(Some gid) in
   let record = emit_wal db txn cseq ~span:(Option.map Obs.Span.ctx cspan) in
   charge_io db db.cfg.costs.io_commit;
+  (match wal_lsn with Some (w, lsn) -> wal_wait db w lsn | None -> ());
   (match (db.commit_wait, record) with Some wait, Some r -> wait r | _ -> ());
   match cspan with
   | Some s ->
@@ -1296,14 +1404,26 @@ let rollback_prepared db ~gid =
   let txn = prepared_txn db gid in
   txn.prepared_gid <- None;
   Hashtbl.remove db.prepared_by_gid gid;
-  abort txn
+  let xid = txn.txn_xid in
+  abort txn;
+  (* Make the abort decision durable so recovery does not resurrect the
+     prepared transaction. *)
+  match db.wal_log with
+  | None -> ()
+  | Some w ->
+      let lsn =
+        try Wal.append w (Wal.Abort { a_xid = xid; a_gid = gid }) with Wal.Lost -> wal_lost ()
+      in
+      wal_wait db w lsn
 
 let prepared_gids db = Hashtbl.fold (fun gid _ acc -> gid :: acc) db.prepared_by_gid []
 
-let crash_recover db =
+let simulate_connection_loss db =
   (* In-flight (non-prepared) transactions vanish: their effects are rolled
      back and they are marked aborted.  Prepared transactions survive with
-     conservative SSI conflict flags. *)
+     conservative SSI conflict flags.  This models a backend crash without
+     losing the in-memory server state — cold-start recovery from the
+     durable log is {!recover}. *)
   let in_flight =
     Hashtbl.fold
       (fun _ txn acc -> if txn.prepared_gid = None then txn :: acc else acc)
@@ -1334,6 +1454,289 @@ let crash_recover db =
   Ssi.recover db.ssi_mgr;
   Obs.incr ~by:(List.length in_flight) db.metrics.m_aborts;
   Obs.trace db.obs "crash" ~fields:[ ("in_flight", Obs.I (List.length in_flight)) ]
+
+(* ---- Durability: epochs, checkpoints, cold-start recovery ------------------------- *)
+
+let note_epoch db epoch =
+  match db.wal_log with
+  | None -> ()
+  | Some w -> (
+      try
+        ignore (Wal.append w (Wal.Epoch epoch));
+        Wal.flush w
+      with Wal.Lost -> wal_lost ())
+
+(* An atomic, consistent checkpoint: the image is captured with no
+   suspension point, so its position in the log corresponds exactly to its
+   cseq horizon — every commit record after it has a higher cseq, and
+   replay needs only the records after it.  The image holds each table's
+   rows visible at the horizon plus the prepared-transaction state. *)
+let checkpoint db =
+  match db.wal_log with
+  | None -> ()
+  | Some w ->
+      let horizon = Clog.next_cseq db.clog in
+      let snap = { Snapshot.owner = 0; horizon } in
+      let tables =
+        Hashtbl.fold
+          (fun name tbl acc ->
+            let schema = Heap.schema tbl.heap in
+            let cols = Array.to_list (Schema.columns schema) in
+            let key = (Schema.columns schema).(Schema.key_index schema) in
+            let rows =
+              Heap.fold_heads tbl.heap ~init:[] ~f:(fun acc head ->
+                  match Visibility.latest_visible db.clog snap head with
+                  | Some (v, _), _ -> Array.copy v.Heap.row :: acc
+                  | None, _ -> acc)
+            in
+            let indexes =
+              List.rev_map
+                (fun i ->
+                  {
+                    Wal.i_name = i.idx_name;
+                    i_column = (Schema.columns schema).(i.col);
+                    i_pred_locks = i.pred_locks;
+                    i_next_key = i.next_key;
+                  })
+                tbl.secondary
+            in
+            {
+              Wal.s_def = { Wal.d_name = name; d_cols = cols; d_key = key };
+              s_indexes = indexes;
+              s_rows = rows;
+            }
+            :: acc)
+          db.tables []
+      in
+      let prepared =
+        Hashtbl.fold (fun gid txn acc -> prepared_image_of db txn gid :: acc) db.prepared_by_gid []
+      in
+      (try
+         ignore
+           (Wal.append w
+              (Wal.Checkpoint { k_cseq = horizon - 1; k_tables = tables; k_prepared = prepared }));
+         Wal.flush w
+       with Wal.Lost -> wal_lost ());
+      charge_io db db.cfg.costs.io_commit
+
+(* ---- Cold-start recovery (redo replay) -------------------------------------------- *)
+
+type recovery_report = {
+  rr_records : int;
+  rr_truncated : int;
+  rr_prepared : int;
+  rr_checkpoint_cseq : int option;
+  rr_last_cseq : int;
+  rr_epoch : int;
+}
+
+(* Redo one logged operation.  [track] (used when reinstating prepared
+   transactions) accumulates undo entries newest-first so a later ROLLBACK
+   PREPARED can still revert the redone writes. *)
+let replay_op db ~xid ~track op =
+  let push e = match track with Some r -> r := e :: !r | None -> () in
+  let supersede tbl key =
+    match Heap.head tbl.heap key with
+    | Some h when h.Heap.xmax = Heap.invalid_xid ->
+        Heap.set_xmax h xid;
+        push (U_set_xmax h)
+    | Some _ | None -> ()
+  in
+  let apply_write tbl key row =
+    supersede tbl key;
+    ignore (Heap.insert_version tbl.heap ~key ~row:(Array.copy row) ~xmin:xid);
+    push (U_new_version (tbl, key));
+    List.iter
+      (fun idx ->
+        let _, added = Btree.insert idx.tree ~key:row.(idx.col) ~pk:key in
+        if added then push (U_index_entry (idx, row.(idx.col), key)))
+      (all_indexes tbl)
+  in
+  match op with
+  | Wal.Insert { table; key; row } | Wal.Update { table; key; row } ->
+      apply_write (table_of db table) key row
+  | Wal.Delete { table; key } -> supersede (table_of db table) key
+
+(* DDL replay is idempotent: a definition already present (e.g. from the
+   checkpoint image) is skipped. *)
+let replay_table_def db (d : Wal.table_def) =
+  if not (Hashtbl.mem db.tables d.Wal.d_name) then
+    create_table db ~name:d.Wal.d_name ~cols:d.Wal.d_cols ~key:d.Wal.d_key
+
+let replay_index_def db ~table (i : Wal.index_def) =
+  if not (Hashtbl.mem db.idx_by_name i.Wal.i_name) then
+    create_index db ~table ~name:i.Wal.i_name ~column:i.Wal.i_column
+      ~predicate_locks:i.Wal.i_pred_locks ~next_key_gaps:i.Wal.i_next_key ()
+
+(* Reinstate a prepared transaction from its durable 2PC image (§5.7,
+   §7.1): redo its writes under its original xid, re-register it with the
+   SSI manager, reinstall its persisted SIREAD locks, and mark it with the
+   conservative both-ways conflict flags. *)
+let reinstate_prepared db (img : Wal.prepared_image) =
+  let xid = img.Wal.p_xid in
+  Clog.install db.clog xid Clog.In_progress;
+  let undo = ref [] in
+  List.iter (replay_op db ~xid ~track:(Some undo)) img.Wal.p_ops;
+  let node =
+    Ssi.register db.ssi_mgr ~xid ~snap_cseq:img.Wal.p_snap_cseq ~read_only:false
+      ~deferrable:false
+  in
+  let locks = Ssi.locks db.ssi_mgr in
+  List.iter
+    (fun (target : Predlock.target) ->
+      match target with
+      | Predlock.Relation rel -> Predlock.lock_relation locks ~owner:xid ~rel
+      | Predlock.Page (rel, page) -> Predlock.lock_page locks ~owner:xid ~rel ~page
+      | Predlock.Tuple (rel, key) ->
+          (* Physical locations were rebuilt: recompute the page from the
+             recovered heap (tuple locks are promoted per-page, so the page
+             must match what writers will probe). *)
+          let page =
+            match Hashtbl.find_opt db.tables rel with
+            | Some tbl -> (
+                match Heap.head tbl.heap key with
+                | Some h -> Heap.page_of_tid h.Heap.tid
+                | None -> 0)
+            | None -> 0
+          in
+          Predlock.lock_tuple locks ~owner:xid ~rel ~key ~page
+      | Predlock.Index_page (index, page) ->
+          Predlock.lock_index_page locks ~owner:xid ~index ~page
+      | Predlock.Index_key (index, key) -> Predlock.lock_index_key locks ~owner:xid ~index ~key
+      | Predlock.Index_inf index -> Predlock.lock_index_inf locks ~owner:xid ~index
+      | Predlock.Index_rel index -> Predlock.lock_index_rel locks ~owner:xid ~index)
+    img.Wal.p_sireads;
+  Ssi.restore_prepared db.ssi_mgr node;
+  let snapshot = { Snapshot.owner = xid; horizon = img.Wal.p_snap_cseq } in
+  let txn =
+    make_txn db ~iso:Serializable ~ro:false ~xid ~snapshot ~sxact:(Some node) ~span:None
+  in
+  txn.prepared_gid <- Some img.Wal.p_gid;
+  txn.undo <- !undo;
+  txn.undo_len <- List.length !undo;
+  txn.wal <- List.rev_map wal_op_of_log img.Wal.p_ops;
+  txn.wal_len <- List.length img.Wal.p_ops;
+  Hashtbl.add db.prepared_by_gid img.Wal.p_gid txn
+
+(* Install a checkpoint image: every row becomes a single base version
+   created by a synthetic transaction committed at the checkpoint horizon,
+   so later snapshots see exactly the checkpointed state. *)
+let install_checkpoint db ~base_xid ~k_cseq ~k_tables ~k_prepared =
+  Clog.install db.clog base_xid (Clog.Committed k_cseq);
+  List.iter
+    (fun (img : Wal.table_image) ->
+      replay_table_def db img.Wal.s_def;
+      List.iter (replay_index_def db ~table:img.Wal.s_def.Wal.d_name) img.Wal.s_indexes;
+      let tbl = table_of db img.Wal.s_def.Wal.d_name in
+      let schema = Heap.schema tbl.heap in
+      List.iter
+        (fun row ->
+          let key = Schema.key_of_row schema row in
+          ignore (Heap.insert_version tbl.heap ~key ~row:(Array.copy row) ~xmin:base_xid);
+          List.iter
+            (fun idx -> ignore (Btree.insert idx.tree ~key:row.(idx.col) ~pk:key))
+            (all_indexes tbl))
+        img.Wal.s_rows)
+    k_tables;
+  List.iter (reinstate_prepared db) k_prepared
+
+let max_xid_of_record = function
+  | Wal.Commit { c_xid; _ } -> c_xid
+  | Wal.Prepare p -> p.Wal.p_xid
+  | Wal.Abort { a_xid; _ } -> a_xid
+  | Wal.Checkpoint { k_prepared; _ } ->
+      List.fold_left (fun acc (p : Wal.prepared_image) -> max acc p.Wal.p_xid) 0 k_prepared
+  | Wal.Schema _ | Wal.Index _ | Wal.Epoch _ -> 0
+
+let recover ?scheduler ?config ?obs w =
+  let db = create ?scheduler ?config ?obs () in
+  let c_replayed = Obs.counter db.obs "recovery.records_replayed" in
+  let c_truncated = Obs.counter db.obs "recovery.tail_truncated" in
+  let c_prepared = Obs.counter db.obs "recovery.prepared_restored" in
+  let span = Obs.Span.start db.obs "recovery.replay" in
+  (* Truncation rule: everything after the first torn / CRC-failing /
+     undecodable frame is discarded, then physically dropped so new appends
+     follow the valid prefix. *)
+  let records, truncated = Wal.read_all w in
+  ignore (Wal.truncate_damaged_tail w);
+  (* The latest checkpoint wins: everything before it is summarized in its
+     image, so replay starts just after it. *)
+  let ck_index = ref (-1) in
+  List.iteri (fun i r -> match r with Wal.Checkpoint _ -> ck_index := i | _ -> ()) records;
+  (* Checkpoint base rows need a synthetic creator that can never collide
+     with a replayed — or future — transaction id. *)
+  let base_xid = 1 + List.fold_left (fun acc r -> max acc (max_xid_of_record r)) 0 records in
+  let epoch =
+    List.fold_left (fun acc r -> match r with Wal.Epoch e -> max acc e | _ -> acc) 0 records
+  in
+  let ck_cseq = ref None in
+  let replayed = ref 0 in
+  List.iteri
+    (fun i r ->
+      if i = !ck_index then (
+        match r with
+        | Wal.Checkpoint { k_cseq; k_tables; k_prepared } ->
+            ck_cseq := Some k_cseq;
+            install_checkpoint db ~base_xid ~k_cseq ~k_tables ~k_prepared
+        | _ -> ())
+      else if i > !ck_index then begin
+        incr replayed;
+        match r with
+        | Wal.Schema d -> replay_table_def db d
+        | Wal.Index { table; def } -> replay_index_def db ~table def
+        | Wal.Prepare img -> reinstate_prepared db img
+        | Wal.Abort { a_gid; a_xid = _ } -> (
+            (* ROLLBACK PREPARED reached the log: the reinstated transaction
+               is rolled back again. *)
+            match Hashtbl.find_opt db.prepared_by_gid a_gid with
+            | Some txn ->
+                txn.prepared_gid <- None;
+                Hashtbl.remove db.prepared_by_gid a_gid;
+                abort txn
+            | None -> ())
+        | Wal.Commit { c_xid; c_cseq; c_gid = Some gid; _ }
+          when Hashtbl.mem db.prepared_by_gid gid ->
+            (* COMMIT PREPARED: the writes were already redone when the
+               Prepare record was reinstated; committing is a status flip. *)
+            let txn = Hashtbl.find db.prepared_by_gid gid in
+            txn.prepared_gid <- None;
+            Hashtbl.remove db.prepared_by_gid gid;
+            Clog.install db.clog c_xid (Clog.Committed c_cseq);
+            (match txn.sxact with
+            | Some node -> Ssi.committed db.ssi_mgr node ~commit_cseq:c_cseq
+            | None -> ());
+            finish_txn txn
+        | Wal.Commit { c_xid; c_cseq; c_ops; _ } ->
+            List.iter (replay_op db ~xid:c_xid ~track:None) c_ops;
+            Clog.install db.clog c_xid (Clog.Committed c_cseq)
+        | Wal.Epoch _ | Wal.Checkpoint _ -> ()
+      end)
+    records;
+  Wal.reopen w;
+  db.wal_log <- Some w;
+  Wal.set_obs w db.obs;
+  let n_prepared = Hashtbl.length db.prepared_by_gid in
+  Obs.incr ~by:!replayed c_replayed;
+  Obs.incr ~by:truncated c_truncated;
+  Obs.incr ~by:n_prepared c_prepared;
+  Obs.Span.add span "records" (Obs.I !replayed);
+  Obs.Span.add span "truncated" (Obs.I truncated);
+  Obs.Span.add span "prepared" (Obs.I n_prepared);
+  Obs.Span.finish db.obs span;
+  Obs.trace db.obs "recovery"
+    ~fields:
+      [ ("records", Obs.I !replayed); ("truncated", Obs.I truncated); ("prepared", Obs.I n_prepared) ];
+  let report =
+    {
+      rr_records = !replayed;
+      rr_truncated = truncated;
+      rr_prepared = n_prepared;
+      rr_checkpoint_cseq = !ck_cseq;
+      rr_last_cseq = Clog.next_cseq db.clog - 1;
+      rr_epoch = epoch;
+    }
+  in
+  (db, report)
 
 (* ---- Helpers -------------------------------------------------------------------------------- *)
 

@@ -42,7 +42,7 @@ exception Transient_fault of { op : string; reason : string }
 (** A retryable infrastructure fault: raised by an installed fault
     injector ({!set_fault_injector}) at an operation's fault point, and by
     any operation on a transaction whose connection died in a crash
-    ({!crash_recover}).  The failed transaction is rolled back (or already
+    ({!simulate_connection_loss}).  The failed transaction is rolled back (or already
     vanished in the crash); a client may immediately retry from scratch,
     which is what {!retry_with} does. *)
 
@@ -213,12 +213,64 @@ val commit_prepared : t -> gid:string -> unit
 val rollback_prepared : t -> gid:string -> unit
 val prepared_gids : t -> string list
 
-val crash_recover : t -> unit
-(** Simulate a crash and recovery: in-flight transactions vanish, prepared
-    transactions survive with conservative SSI flags (§7.1).  Sessions
-    still holding a handle to a vanished transaction see
-    {!Transient_fault} ("connection lost") on their next operation, so a
-    retry loop recovers them; suspended lock waiters are woken. *)
+val simulate_connection_loss : t -> unit
+(** Simulate a backend crash without losing server state: in-flight
+    transactions vanish, prepared transactions survive with conservative
+    SSI flags (§7.1).  Sessions still holding a handle to a vanished
+    transaction see {!Transient_fault} ("connection lost") on their next
+    operation, so a retry loop recovers them; suspended lock waiters are
+    woken.  Cold-start recovery that rebuilds the server from its durable
+    log is {!recover}. *)
+
+(** {1 Durability (WAL)}
+
+    With a durable log {!attach_wal}ed, every commit/prepare/abort is
+    framed, checksummed and staged on the device, and the acknowledgment
+    waits for the group-commit flush that makes it durable.  Commit records
+    are appended with no suspension point after the commit point, so log
+    order is cseq order — recovery's truncation of a damaged tail always
+    leaves a dense prefix of commit history. *)
+
+val attach_wal : t -> Ssi_wal.Wal.t -> unit
+(** Attach the durable log.  From now on commits block until their record
+    is flushed; the log's [wal.*] metrics move into this engine's
+    registry. *)
+
+val wal_log : t -> Ssi_wal.Wal.t option
+
+val checkpoint : t -> unit
+(** Write a checkpoint record — a consistent image of every table at the
+    current commit horizon plus the prepared-transaction state — and flush
+    it.  Recovery replays only the records after the latest checkpoint.
+    Captured atomically (no suspension point), so the image is exact.
+    No-op without an attached log. *)
+
+val note_epoch : t -> int -> unit
+(** Record the replication epoch this node adopted as primary, so a
+    recovered node resumes at a higher epoch.  No-op without an attached
+    log. *)
+
+type recovery_report = {
+  rr_records : int;  (** log records replayed (after the checkpoint) *)
+  rr_truncated : int;  (** damaged tail bytes truncated *)
+  rr_prepared : int;  (** prepared transactions restored *)
+  rr_checkpoint_cseq : int option;  (** horizon of the checkpoint used *)
+  rr_last_cseq : int;  (** highest commit sequence number recovered *)
+  rr_epoch : int;  (** last adopted replication epoch; [0] if none *)
+}
+
+val recover :
+  ?scheduler:Ssi_util.Waitq.scheduler -> ?config:config -> ?obs:Ssi_obs.Obs.t ->
+  Ssi_wal.Wal.t -> t * recovery_report
+(** Cold-start recovery: build a fresh engine from the durable log alone.
+    The damaged tail (torn write, CRC failure) is truncated; the latest
+    checkpoint image is installed; every later commit is redo-replayed in
+    cseq order; prepared transactions are reinstated with their SIREAD
+    locks and conservative conflict flags (§5.7, §7.1), awaiting
+    [commit_prepared] / [rollback_prepared].  The log is reopened and
+    attached to the new engine, which resumes appending after the valid
+    prefix.  Registers [recovery.records_replayed],
+    [recovery.tail_truncated] and [recovery.prepared_restored] counters. *)
 
 (** {1 Data access} *)
 

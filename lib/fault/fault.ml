@@ -140,7 +140,7 @@ let execute ?(observer = fun _ _ -> ()) target plan ~log =
       (match ev.kind with
       | Crash ->
           logf "crash";
-          E.crash_recover target.engine
+          E.simulate_connection_loss target.engine
       | Fault_burst { rate; duration } -> (
           match target.injector with
           | None -> logf "fault-burst skipped (no injector)"

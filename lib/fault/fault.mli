@@ -8,8 +8,8 @@
     replicas (§7.2).  This module turns each of those adversities into a
     schedulable event:
 
-    - {e crash}: [Engine.crash_recover] fires mid-workload — in-flight
-      transactions vanish (their sessions see a retryable
+    - {e crash}: [Engine.simulate_connection_loss] fires mid-workload —
+      in-flight transactions vanish (their sessions see a retryable
       [Transient_fault]), prepared transactions survive;
     - {e fault burst}: a window during which the {!injector} kills engine
       operations with retryable I/O errors at a seeded rate;

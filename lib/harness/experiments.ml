@@ -241,6 +241,30 @@ let ablation_nextkey ?(warehouses = 5) ?(duration = 2.0) () =
     ~specs_of:(fun _ -> Tpcc.specs ~warehouses ~ro_fraction:0.3)
     ~label_of:(fun x -> if x > 0.5 then "next-key" else "page")
 
+(* ---- Durability: group commit --------------------------------------------------- *)
+
+let group_commit ?(intervals = [ 0.; 5e-5; 2e-4; 1e-3 ]) ?(rows = 100) ?(duration = 3.0)
+    ?(workers = 8) ?(cores = 4) () =
+  sweep ~modes:[ Driver.SSI ] ~points:intervals
+    ~bench_of:(fun mode interval ->
+      {
+        Driver.default_bench with
+        Driver.mode;
+        workers;
+        cpu_cores = cores;
+        duration;
+        warmup = duration /. 5.;
+        costs = Driver.in_memory_costs;
+        chaos =
+          Some
+            (fun db ->
+              E.attach_wal db (Ssi_wal.Wal.create ~flush_interval:interval ()));
+      })
+    ~setup_of:(fun _ -> Sibench.setup ~rows)
+    ~specs_of:(fun _ -> Sibench.specs ~rows ())
+    ~label_of:(fun i ->
+      if i = 0. then "sync" else Printf.sprintf "%.0fus" (1e6 *. i))
+
 (* ---- Rendering --------------------------------------------------------------------- *)
 
 let group_by_x measurements =
@@ -341,15 +365,24 @@ let render_fig6 measurements =
   Printf.sprintf "Figure 6: RUBiS bidding mix\n%s" (Tablefmt.render ~header rows)
 
 let render_latency ~title measurements =
+  (* A leading x column only when the measurements sweep something (the
+     json workloads run one x; the group-commit sweep runs several). *)
+  let distinct_x =
+    match measurements with
+    | [] -> false
+    | m :: tl -> List.exists (fun m' -> m'.x_label <> m.x_label) tl
+  in
   let header =
-    [ "mode"; "tx/s"; "p50 lat (s)"; "p95 lat (s)"; "p99 lat (s)"; "failure rate" ]
+    (if distinct_x then [ "x" ] else [])
+    @ [ "mode"; "tx/s"; "p50 lat (s)"; "p95 lat (s)"; "p99 lat (s)"; "failure rate" ]
   in
   let f x = if Float.is_finite x then Printf.sprintf "%.6f" x else "-" in
   let rows =
     List.map
       (fun m ->
         let r = m.result in
-        [
+        (if distinct_x then [ m.x_label ] else [])
+        @ [
           Driver.mode_name m.mode;
           Printf.sprintf "%.0f" r.Driver.throughput;
           f r.Driver.latency_p50;

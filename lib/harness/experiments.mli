@@ -82,6 +82,18 @@ val ablation_nextkey :
     DBT-2++ (§5.2.1 future work, implemented here): next-key gaps flag
     fewer false conflicts. *)
 
+(** {1 Durability: group commit} *)
+
+val group_commit :
+  ?intervals:float list -> ?rows:int -> ?duration:float -> ?workers:int -> ?cores:int ->
+  unit -> measurement list
+(** SIBENCH under SSI with a durable log attached, sweeping the
+    group-commit flush interval: [0.] flushes synchronously on every
+    append; longer intervals batch more commits per flush (higher
+    throughput per fsync) at the cost of commit latency, which
+    {!render_latency} makes visible.  [x_label] is the interval ("sync"
+    for 0). *)
+
 val render_ablation : title:string -> x_header:string -> measurement list -> string
 (** Rows = x values; columns = throughput and failure rate of the SSI run
     (normalized against the SI run at the same x when present). *)

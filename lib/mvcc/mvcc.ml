@@ -44,6 +44,16 @@ module Clog = struct
 
   let next_cseq t = t.next_cseq
 
+  (* Recovery replay: reinstate a transaction under its ORIGINAL id (and,
+     for commits, original cseq), keeping the allocators ahead of
+     everything installed so post-recovery transactions never collide. *)
+  let install t xid status =
+    Hashtbl.replace t.statuses xid status;
+    if xid >= t.next_xid then t.next_xid <- xid + 1;
+    match status with
+    | Committed c -> if c >= t.next_cseq then t.next_cseq <- c + 1
+    | In_progress | Aborted -> ()
+
   let commit_cseq t xid =
     match status t xid with Committed c -> c | In_progress | Aborted -> invalid_cseq
 

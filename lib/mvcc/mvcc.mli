@@ -39,6 +39,11 @@ module Clog : sig
   val next_cseq : t -> cseq
   (** The cseq that the next commit will receive. *)
 
+  val install : t -> xid -> status -> unit
+  (** Recovery replay: record [xid]'s status under its original id (and
+      original cseq for commits), bumping the xid/cseq allocators past it
+      so nothing handed out later collides with replayed history. *)
+
   val commit_cseq : t -> xid -> cseq
   (** [Committed c -> c]; {!invalid_cseq} otherwise. *)
 

@@ -205,6 +205,10 @@ let make_primary net ~node ~epoch ?quorum engine =
     }
   in
   Obs.set_gauge (Obs.gauge obs "stream.epoch") (float_of_int epoch);
+  (* Persist the adopted epoch: a primary recovered from its durable log
+     restarts at a higher epoch, so its subscribers resync rather than mix
+     histories. *)
+  E.note_epoch engine epoch;
   if List.mem node (Net.nodes net) then Net.set_handler net node (handle_primary p)
   else Net.add_node net node ~handler:(handle_primary p);
   (* Hook first, base second: the base scan's own commit (every commit

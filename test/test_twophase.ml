@@ -102,7 +102,7 @@ let test_prepared_pivot_aborts_active_instead () =
   E.commit_prepared db ~gid:"g1";
   E.with_txn db (fun t -> ignore (E.read t ~table:"kv" ~key:(vi 2)))
 
-let test_crash_recovery_basic () =
+let test_simulate_connection_lossy_basic () =
   let db = fresh () in
   (* An in-flight transaction's writes vanish at the crash. *)
   let in_flight = E.begin_txn db in
@@ -111,14 +111,14 @@ let test_crash_recovery_basic () =
   let tp = E.begin_txn db in
   bump tp 1;
   E.prepare tp ~gid:"survivor";
-  E.crash_recover db;
+  E.simulate_connection_loss db;
   Alcotest.(check (list string)) "prepared survives" [ "survivor" ] (E.prepared_gids db);
   Alcotest.(check int) "in-flight rolled back" 0 (value db 3);
   Alcotest.(check int) "prepared still invisible" 0 (value db 1);
   E.commit_prepared db ~gid:"survivor";
   Alcotest.(check int) "prepared commit applies" 1 (value db 1)
 
-let test_crash_recovery_conservative_flags () =
+let test_simulate_connection_lossy_conservative_flags () =
   (* After recovery the prepared transaction's SIREAD locks survive and
      its conflicts are assumed both-ways: a transaction whose write
      touches its readset fails at commit. *)
@@ -127,7 +127,7 @@ let test_crash_recovery_conservative_flags () =
   ignore (E.read tp ~table:"kv" ~key:(vi 1));
   bump tp 2;
   E.prepare tp ~gid:"g1";
-  E.crash_recover db;
+  E.simulate_connection_loss db;
   let w = E.begin_txn db in
   bump w 1 (* writes what the prepared transaction read *);
   (try
@@ -146,8 +146,8 @@ let test_crash_between_prepare_and_commit () =
   let tp = E.begin_txn db in
   bump tp 1;
   E.prepare tp ~gid:"g1";
-  E.crash_recover db;
-  E.crash_recover db (* a second crash changes nothing *);
+  E.simulate_connection_loss db;
+  E.simulate_connection_loss db (* a second crash changes nothing *);
   Alcotest.(check (list string)) "still prepared after two crashes" [ "g1" ]
     (E.prepared_gids db);
   E.commit_prepared db ~gid:"g1";
@@ -160,7 +160,7 @@ let test_crash_between_prepare_and_rollback () =
   let tp = E.begin_txn db in
   bump tp 1;
   E.prepare tp ~gid:"g1";
-  E.crash_recover db;
+  E.simulate_connection_loss db;
   E.rollback_prepared db ~gid:"g1";
   Alcotest.(check int) "abort decision honoured" 0 (value db 1);
   Alcotest.(check (list string)) "gone" [] (E.prepared_gids db)
@@ -175,7 +175,7 @@ let test_recovered_prepared_never_victim () =
   ignore (E.read tp ~table:"kv" ~key:(vi 1));
   bump tp 2;
   E.prepare tp ~gid:"g1";
-  E.crash_recover db;
+  E.simulate_connection_loss db;
   (* Reading around the recovered transaction's pending write completes
      the (assumed) dangerous structure: the reader gives way. *)
   let ta = E.begin_txn db in
@@ -232,8 +232,8 @@ let () =
         ] );
       ( "recovery",
         [
-          Alcotest.test_case "basic" `Quick test_crash_recovery_basic;
-          Alcotest.test_case "conservative flags" `Quick test_crash_recovery_conservative_flags;
+          Alcotest.test_case "basic" `Quick test_simulate_connection_lossy_basic;
+          Alcotest.test_case "conservative flags" `Quick test_simulate_connection_lossy_conservative_flags;
           Alcotest.test_case "crash between prepare and commit" `Quick
             test_crash_between_prepare_and_commit;
           Alcotest.test_case "crash between prepare and rollback" `Quick

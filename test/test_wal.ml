@@ -1,0 +1,344 @@
+(* The durable log and cold-start recovery: record framing and CRC
+   truncation, group commit under the simulator, and [Engine.recover]
+   rebuilding state — including prepared two-phase transactions — from the
+   log alone. *)
+
+open Ssi_storage
+module Wal = Ssi_wal.Wal
+module E = Ssi_engine.Engine
+module Predlock = Ssi_core.Predlock
+module Sim = Ssi_sim.Sim
+module Obs = Ssi_obs.Obs
+
+(* ---- Record framing ------------------------------------------------------ *)
+
+let sample_prepared =
+  {
+    Wal.p_xid = 7;
+    p_gid = "gid-7";
+    p_snap_cseq = 3;
+    p_ops =
+      [
+        Wal.Insert { table = "t"; key = Value.Int 1; row = [| Value.Int 1; Value.Str "a" |] };
+        Wal.Update { table = "t"; key = Value.Int 1; row = [| Value.Int 1; Value.Null |] };
+        Wal.Delete { table = "t"; key = Value.Int 2 };
+      ];
+    p_sireads =
+      [
+        Predlock.Relation "t";
+        Predlock.Page ("t", 0);
+        Predlock.Tuple ("t", Value.Int 1);
+        Predlock.Index_page ("t_idx", 2);
+        Predlock.Index_key ("t_idx", Value.Str "a");
+        Predlock.Index_inf "t_idx";
+        Predlock.Index_rel "t_idx";
+      ];
+  }
+
+let sample_records =
+  [
+    Wal.Schema { Wal.d_name = "t"; d_cols = [ "k"; "v" ]; d_key = "k" };
+    Wal.Index
+      {
+        table = "t";
+        def = { Wal.i_name = "t_idx"; i_column = "v"; i_pred_locks = true; i_next_key = false };
+      };
+    Wal.Commit
+      {
+        c_xid = 5;
+        c_cseq = 1;
+        c_gid = None;
+        c_ops = [ Wal.Insert { table = "t"; key = Value.Int 1; row = [| Value.Int 1 |] } ];
+        c_safe = true;
+      };
+    Wal.Commit { c_xid = 6; c_cseq = 2; c_gid = Some "g"; c_ops = []; c_safe = false };
+    Wal.Prepare sample_prepared;
+    Wal.Abort { a_xid = 8; a_gid = "gone" };
+    Wal.Checkpoint
+      {
+        k_cseq = 2;
+        k_tables =
+          [
+            {
+              Wal.s_def = { Wal.d_name = "t"; d_cols = [ "k" ]; d_key = "k" };
+              s_indexes =
+                [ { Wal.i_name = "i"; i_column = "k"; i_pred_locks = false; i_next_key = true } ];
+              s_rows = [ [| Value.Int 1 |]; [| Value.Float 2.5; Value.Bool true |] ];
+            };
+          ];
+        k_prepared = [ sample_prepared ];
+      };
+    Wal.Epoch 4;
+  ]
+
+let test_roundtrip () =
+  let w = Wal.create () in
+  List.iter (fun r -> ignore (Wal.append w r)) sample_records;
+  let records, truncated = Wal.read_all w in
+  Alcotest.(check int) "no truncation" 0 truncated;
+  Alcotest.(check bool) "all record kinds survive framing" true (records = sample_records)
+
+let test_save_load () =
+  let w = Wal.create () in
+  List.iter (fun r -> ignore (Wal.append w r)) sample_records;
+  let path = Filename.temp_file "ssi_wal" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Wal.save w path;
+      let w2 = Wal.load path in
+      Alcotest.(check bool) "records survive save/load" true (fst (Wal.read_all w2) = sample_records))
+
+(* ---- Crash and damage ---------------------------------------------------- *)
+
+(* Direct mode flushes on every append, so stage records with a sim running
+   and a huge flush interval to keep them pending. *)
+let with_pending records f =
+  let w = Wal.create ~flush_interval:1e9 () in
+  ignore
+    (Sim.run (fun () ->
+         List.iter (fun r -> ignore (Wal.append w r)) records;
+         f w))
+
+let test_crash_loses_pending () =
+  with_pending sample_records (fun w ->
+      Alcotest.(check int) "staged, not durable" 0 (Wal.durable_size w);
+      Wal.crash w;
+      Alcotest.(check bool) "dead" true (Wal.is_dead w);
+      Alcotest.(check (pair (list reject) int)) "empty log" ([], 0) (Wal.read_all w);
+      Alcotest.check_raises "append on dead device" Wal.Lost (fun () ->
+          ignore (Wal.append w (Wal.Epoch 1))))
+
+let test_torn_write_truncates () =
+  (* Flush the first two records, stage the rest, and tear the in-flight
+     flush mid-frame: the durable prefix survives, the tail is dropped. *)
+  let durable, lost =
+    match sample_records with a :: b :: rest -> ([ a; b ], rest) | _ -> assert false
+  in
+  let w = Wal.create ~flush_interval:1e9 () in
+  ignore
+    (Sim.run (fun () ->
+         List.iter (fun r -> ignore (Wal.append w r)) durable;
+         Wal.flush w;
+         List.iter (fun r -> ignore (Wal.append w r)) lost;
+         Wal.crash ~damage:(Wal.Torn_write 11) w));
+  let records, truncated = Wal.read_all w in
+  Alcotest.(check bool) "durable prefix intact" true (records = durable);
+  Alcotest.(check bool) "torn tail detected" true (truncated > 0);
+  let dropped = Wal.truncate_damaged_tail w in
+  Alcotest.(check int) "tail physically dropped" truncated dropped;
+  Alcotest.(check int) "clean after truncation" 0 (snd (Wal.read_all w))
+
+let test_bit_flip_truncates () =
+  let w2 = Wal.create ~flush_interval:1e9 () in
+  ignore
+    (Sim.run (fun () ->
+         List.iter (fun r -> ignore (Wal.append w2 r)) sample_records;
+         Wal.crash ~damage:(Wal.Bit_flip 123) w2));
+  let records, truncated = Wal.read_all w2 in
+  Alcotest.(check bool) "bit flip ends the valid prefix" true (truncated > 0);
+  Alcotest.(check bool) "only a prefix survives" true
+    (List.length records < List.length sample_records)
+
+(* ---- Group commit -------------------------------------------------------- *)
+
+let test_group_commit_batches () =
+  let obs = Obs.create () in
+  let w = Wal.create ~obs ~flush_interval:1e-3 () in
+  ignore
+    (Sim.run (fun () ->
+         for i = 1 to 5 do
+           let lsn = Wal.append w (Wal.Epoch i) in
+           Sim.spawn (fun () -> Wal.wait_durable w Sim.scheduler lsn)
+         done;
+         Alcotest.(check int) "nothing flushed inside the window" 0 (Wal.durable_size w);
+         Sim.delay 2e-3;
+         Alcotest.(check int) "one timer flushed the batch" 1 (Obs.get_counter obs "wal.flushes");
+         Alcotest.(check int) "pending drained" 0 (Wal.pending_size w)));
+  Alcotest.(check int) "all five records durable" 5 (List.length (fst (Wal.read_all w)))
+
+let test_unflushed_commit_not_acked () =
+  (* A committer whose flush is destroyed must see Lost, not an ack — even
+     when damage deposits its (mangled) bytes on the device. *)
+  let acked = ref 0 and lost = ref 0 in
+  let w = Wal.create ~flush_interval:1e-3 () in
+  ignore
+    (Sim.run (fun () ->
+         let lsn = Wal.append w (Wal.Epoch 1) in
+         Sim.spawn (fun () ->
+             match Wal.wait_durable w Sim.scheduler lsn with
+             | () -> incr acked
+             | exception Wal.Lost -> incr lost);
+         Sim.at ~after:1e-4 (fun () -> Wal.crash ~damage:(Wal.Bit_flip 9) w)));
+  Alcotest.(check (pair int int)) "woken with Lost" (0, 1) (!acked, !lost)
+
+(* ---- Engine recovery ----------------------------------------------------- *)
+
+let costs = { E.zero_costs with E.cpu_per_op = 1e-6 }
+let config = { E.default_config with E.costs }
+
+let dump db =
+  E.with_txn ~isolation:E.Repeatable_read db (fun t ->
+      List.map
+        (fun tbl -> (tbl, E.seq_scan t ~table:tbl ()))
+        (List.sort compare (E.table_names db)))
+
+let setup_engine ?(flush_interval = 0.) () =
+  let db = E.create ~scheduler:Sim.scheduler ~config () in
+  let w = Wal.create ~flush_interval () in
+  E.attach_wal db w;
+  E.create_table db ~name:"acct" ~cols:[ "id"; "bal" ] ~key:"id";
+  E.create_index db ~table:"acct" ~name:"acct_bal" ~column:"bal" ();
+  (db, w)
+
+let test_recover_rebuilds_state () =
+  let snapshot = ref [] in
+  let w_out = ref None in
+  ignore
+    (Sim.run (fun () ->
+         let db, w = setup_engine () in
+         E.with_txn db (fun t ->
+             for i = 1 to 8 do
+               E.insert t ~table:"acct" [| Value.Int i; Value.Int (100 * i) |]
+             done);
+         E.with_txn db (fun t ->
+             ignore (E.update t ~table:"acct" ~key:(Value.Int 3) ~f:(fun _ ->
+                 [| Value.Int 3; Value.Int 0 |]));
+             ignore (E.delete t ~table:"acct" ~key:(Value.Int 7)));
+         snapshot := dump db;
+         w_out := Some w));
+  let w = Option.get !w_out in
+  ignore
+    (Sim.run (fun () ->
+         let db2, report = E.recover ~scheduler:Sim.scheduler ~config w in
+         Alcotest.(check bool) "replayed something" true (report.E.rr_records > 0);
+         Alcotest.(check int) "no tail damage" 0 report.E.rr_truncated;
+         Alcotest.(check bool) "state rebuilt from the log" true (dump db2 = !snapshot);
+         (* The rebuilt secondary index answers scans. *)
+         E.with_txn ~isolation:E.Repeatable_read db2 (fun t ->
+             let rich =
+               E.index_scan t ~table:"acct" ~index:"acct_bal" ~lo:(Value.Int 500)
+                 ~hi:(Value.Int 10000)
+             in
+             (* bal >= 500: keys 5, 6, 8 (7 was deleted, 3 was zeroed) *)
+             Alcotest.(check int) "index rebuilt" 3 (List.length rich));
+         (* And the recovered engine accepts new transactions. *)
+         E.with_txn db2 (fun t ->
+             E.insert t ~table:"acct" [| Value.Int 99; Value.Int 1 |])))
+
+let test_recover_from_checkpoint () =
+  let snapshot = ref [] in
+  let w_out = ref None in
+  ignore
+    (Sim.run (fun () ->
+         let db, w = setup_engine () in
+         E.with_txn db (fun t ->
+             for i = 1 to 4 do
+               E.insert t ~table:"acct" [| Value.Int i; Value.Int i |]
+             done);
+         E.checkpoint db;
+         E.with_txn db (fun t ->
+             E.insert t ~table:"acct" [| Value.Int 5; Value.Int 5 |]);
+         snapshot := dump db;
+         w_out := Some w));
+  let w = Option.get !w_out in
+  ignore
+    (Sim.run (fun () ->
+         let db2, report = E.recover ~scheduler:Sim.scheduler ~config w in
+         Alcotest.(check bool) "resumed from the checkpoint" true
+           (report.E.rr_checkpoint_cseq <> None);
+         Alcotest.(check bool) "checkpoint + tail = state" true (dump db2 = !snapshot);
+         (* Replaying from the checkpoint must not double-apply: exactly one
+            version of each checkpointed row is visible. *)
+         E.with_txn ~isolation:E.Repeatable_read db2 (fun t ->
+             Alcotest.(check int) "row count" 5 (E.row_count t ~table:"acct"))))
+
+let test_recover_mid_2pc () =
+  (* Crash with a prepared transaction in the log; drive recovery twice from
+     the same image — once resolving COMMIT PREPARED, once ROLLBACK
+     PREPARED — and check both end states. *)
+  let path = Filename.temp_file "ssi_wal_2pc" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      ignore
+        (Sim.run (fun () ->
+             let db, w = setup_engine () in
+             E.with_txn db (fun t ->
+                 E.insert t ~table:"acct" [| Value.Int 1; Value.Int 10 |]);
+             let txn = E.begin_txn db in
+             ignore (E.read txn ~table:"acct" ~key:(Value.Int 1));
+             E.insert txn ~table:"acct" [| Value.Int 2; Value.Int 20 |];
+             E.prepare txn ~gid:"doubt";
+             (* The crash happens here: the engine dies with "doubt" prepared
+                and nothing resolved. *)
+             Wal.crash w;
+             Wal.save w path));
+      let recover_and_resolve resolve =
+        let out = ref [] in
+        ignore
+          (Sim.run (fun () ->
+               let w = Wal.load path in
+               let db, report = E.recover ~scheduler:Sim.scheduler ~config w in
+               Alcotest.(check int) "one prepared restored" 1 report.E.rr_prepared;
+               Alcotest.(check (list string)) "in doubt" [ "doubt" ] (E.prepared_gids db);
+               (* Conservative flags (§5.7): a concurrent reader overlapping
+                  the in-doubt transaction is still serializable — resolution
+                  below settles the row's fate. *)
+               resolve db;
+               Alcotest.(check (list string)) "resolved" [] (E.prepared_gids db);
+               out := dump db));
+        !out
+      in
+      let committed = recover_and_resolve (fun db -> E.commit_prepared db ~gid:"doubt") in
+      let rolled_back = recover_and_resolve (fun db -> E.rollback_prepared db ~gid:"doubt") in
+      Alcotest.(check int) "commit prepared keeps the write" 2
+        (List.length (List.assoc "acct" committed));
+      Alcotest.(check int) "rollback prepared drops the write" 1
+        (List.length (List.assoc "acct" rolled_back)))
+
+let test_recovery_counters () =
+  let w_out = ref None in
+  ignore
+    (Sim.run (fun () ->
+         let db, w = setup_engine () in
+         E.with_txn db (fun t -> E.insert t ~table:"acct" [| Value.Int 1; Value.Int 1 |]);
+         w_out := Some w));
+  let w = Option.get !w_out in
+  let obs = Obs.create () in
+  ignore
+    (Sim.run (fun () ->
+         let _db, report = E.recover ~scheduler:Sim.scheduler ~config ~obs w in
+         Alcotest.(check int) "records_replayed counter" report.E.rr_records
+           (Obs.get_counter obs "recovery.records_replayed")));
+  Alcotest.(check int) "tail_truncated counter" 0 (Obs.get_counter obs "recovery.tail_truncated");
+  Alcotest.(check int) "prepared_restored counter" 0
+    (Obs.get_counter obs "recovery.prepared_restored")
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "framing",
+        [
+          Alcotest.test_case "record roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "save/load" `Quick test_save_load;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "pending lost" `Quick test_crash_loses_pending;
+          Alcotest.test_case "torn write truncated" `Quick test_torn_write_truncates;
+          Alcotest.test_case "bit flip truncated" `Quick test_bit_flip_truncates;
+        ] );
+      ( "group commit",
+        [
+          Alcotest.test_case "batched flush" `Quick test_group_commit_batches;
+          Alcotest.test_case "lost flush not acked" `Quick test_unflushed_commit_not_acked;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "rebuilds state" `Quick test_recover_rebuilds_state;
+          Alcotest.test_case "from checkpoint" `Quick test_recover_from_checkpoint;
+          Alcotest.test_case "mid-2PC, both resolutions" `Quick test_recover_mid_2pc;
+          Alcotest.test_case "counters" `Quick test_recovery_counters;
+        ] );
+    ]
