@@ -1,11 +1,22 @@
 (* pg_ssi: command-line front end.
 
-     pg_ssi demo                          -- write-skew walkthrough
+     pg_ssi demo                          -- write-skew walkthrough (paper Figure 1)
      pg_ssi bench <fig4|fig5a|fig5b|fig6|defer> [--quick]
-     pg_ssi workload <sibench|tpcc|rubis> --mode <si|ssi|ssi-noro|s2pl> ...
+                                          -- regenerate a table or figure from the paper
+     pg_ssi workload <sibench|tpcc|rubis> --mode <si|ssi|ssi-noro|s2pl>
+                                          -- run one configuration, report its numbers
      pg_ssi stats <sibench|tpcc|rubis>    -- run, then dump the metric registry
      pg_ssi trace <sibench|tpcc|rubis>    -- run, then dump trace events as JSONL
-     pg_ssi explain <sibench|tpcc|rubis>  -- run, then explain every SSI abort
+     pg_ssi explain <sibench|tpcc|rubis>  -- run, then explain every certifier abort
+     pg_ssi chaos [--kill-points N]       -- seeded fault plan, or recovery torture
+     pg_ssi recover <FILE>                -- cold-start from a durable-log image
+     pg_ssi sql [-f FILE]                 -- SQL shell on a fresh in-memory database
+
+   Every workload-running subcommand (workload, stats, trace, explain,
+   chaos) also takes --certifier <ssi|ssn|essn> to pick the
+   serializability certifier the serializable modes run under: the
+   paper's SSI (default), the Serial Safety Net's exclusion-window test,
+   or its extended read-only refinement.
 
    The bench subcommand prints the same tables as bench/main.exe; the
    workload subcommand runs a single configuration and reports its
@@ -113,16 +124,25 @@ let mode_of_string = function
   | "s2pl" -> Driver.S2PL
   | other -> invalid_arg ("unknown mode " ^ other)
 
+module Certifier = Ssi_core.Certifier
+
+let certifier_of_string s =
+  match Certifier.kind_of_string s with
+  | Some k -> k
+  | None -> invalid_arg ("unknown certifier " ^ s ^ " (expected ssi, ssn or essn)")
+
 let workload_config = function
   | "sibench" -> (Sibench.setup ~rows:100, Sibench.specs ~rows:100 ())
   | "tpcc" -> (Tpcc.setup ~warehouses:5, Tpcc.specs ~warehouses:5 ~ro_fraction:0.08)
   | "rubis" -> (Rubis.setup ~users:200 ~items:220, Rubis.specs ~users:200 ~items:220)
   | other -> invalid_arg ("unknown workload " ^ other)
 
-let print_summary name mode workers duration (r : Driver.result) =
+let print_summary name mode certifier workers duration (r : Driver.result) =
   let lat x = if Float.is_finite x then Printf.sprintf "%.6f" x else "-" in
-  Format.printf "workload=%s mode=%s workers=%d duration=%.1fs@." name
-    (Driver.mode_name mode) workers duration;
+  Format.printf "workload=%s mode=%s certifier=%s workers=%d duration=%.1fs@." name
+    (Driver.mode_name mode)
+    (Certifier.kind_to_string certifier)
+    workers duration;
   Format.printf "  committed    %d (%.0f tx/s)@." r.Driver.committed r.Driver.throughput;
   Format.printf "  failures     %d (%.3f%%), of which %d deadlocks@." r.Driver.failures
     (100. *. r.Driver.failure_rate) r.Driver.deadlocks;
@@ -136,14 +156,23 @@ let print_summary name mode workers duration (r : Driver.result) =
   end;
   Format.printf "  cpu busy     %.0f%%@." (100. *. r.Driver.cpu_busy)
 
-let run_workload name mode_str workers duration seed =
+let run_workload name mode_str cert_str workers duration seed =
   let mode = mode_of_string mode_str in
+  let certifier = certifier_of_string cert_str in
   let bench =
-    { Driver.default_bench with Driver.mode; workers; duration; warmup = duration /. 5.; seed }
+    {
+      Driver.default_bench with
+      Driver.mode;
+      certifier;
+      workers;
+      duration;
+      warmup = duration /. 5.;
+      seed;
+    }
   in
   let setup, specs = workload_config name in
   let r = Driver.run ~setup ~specs bench in
-  print_summary name mode workers duration r;
+  print_summary name mode certifier workers duration r;
   0
 
 (* ---- stats / trace --------------------------------------------------------- *)
@@ -152,13 +181,15 @@ let run_workload name mode_str workers duration seed =
    hook), then dump the observability core: the full metric registry
    (stats) or the retained trace-event ring as JSON Lines (trace). *)
 
-let run_observed ?trace_capacity name mode_str workers duration seed k =
+let run_observed ?trace_capacity name mode_str cert_str workers duration seed k =
   let mode = mode_of_string mode_str in
+  let certifier = certifier_of_string cert_str in
   let eng = ref None in
   let bench =
     {
       Driver.default_bench with
       Driver.mode;
+      certifier;
       workers;
       duration;
       warmup = duration /. 5.;
@@ -175,9 +206,10 @@ let run_observed ?trace_capacity name mode_str workers duration seed k =
       prerr_endline "internal error: engine was not captured";
       1
 
-let run_stats name mode_str workers duration seed =
-  run_observed name mode_str workers duration seed (fun db r ->
-      print_summary name (mode_of_string mode_str) workers duration r;
+let run_stats name mode_str cert_str workers duration seed =
+  run_observed name mode_str cert_str workers duration seed (fun db r ->
+      print_summary name (mode_of_string mode_str) (certifier_of_string cert_str) workers
+        duration r;
       Format.printf "@.";
       print_string (Ssi_obs.Obs.render (E.obs db));
       0)
@@ -186,8 +218,8 @@ let has_prefix ~prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
 
-let run_trace name mode_str workers duration seed filter limit =
-  run_observed name mode_str workers duration seed (fun db _r ->
+let run_trace name mode_str cert_str workers duration seed filter limit =
+  run_observed name mode_str cert_str workers duration seed (fun db _r ->
       let evs = Ssi_obs.Obs.events (E.obs db) in
       let evs =
         match filter with
@@ -206,9 +238,10 @@ let run_trace name mode_str workers duration seed filter limit =
       List.iter (fun e -> print_endline (Ssi_obs.Obs.event_to_json e)) evs;
       0)
 
-let run_explain name mode_str workers duration seed trace_capacity =
-  run_observed ~trace_capacity name mode_str workers duration seed (fun db r ->
-      print_summary name (mode_of_string mode_str) workers duration r;
+let run_explain name mode_str cert_str workers duration seed trace_capacity =
+  run_observed ~trace_capacity name mode_str cert_str workers duration seed (fun db r ->
+      print_summary name (mode_of_string mode_str) (certifier_of_string cert_str) workers
+        duration r;
       Format.printf "@.";
       print_string (Explain.render (E.obs db));
       0)
@@ -256,11 +289,14 @@ let run_recover file =
   print_string (Ssi_obs.Obs.render (E.obs db));
   0
 
-let run_torture seed kill_points kill_every torn_writes wal_out =
-  Format.printf "recovery torture seed=%d kill-points=%d stride=%d torn-writes=%b@." seed
+let run_torture seed certifier kill_points kill_every torn_writes wal_out =
+  Format.printf "recovery torture seed=%d certifier=%s kill-points=%d stride=%d torn-writes=%b@."
+    seed
+    (Certifier.kind_to_string certifier)
     kill_points kill_every torn_writes;
   let outcomes =
-    Torture.sweep ?wal_out ~max_kills:kill_points ~kill_every ~seed ~with_damage:torn_writes ()
+    Torture.sweep ?wal_out ~certifier ~max_kills:kill_points ~kill_every ~seed
+      ~with_damage:torn_writes ()
   in
   List.iter (fun o -> Format.printf "  %s@." (Torture.pp_outcome o)) outcomes;
   let crashes = List.length (List.filter (fun o -> o.Torture.o_crashed) outcomes) in
@@ -287,14 +323,16 @@ let print_promotion (p : Replica.promotion) =
     "  failover           promoted at cseq %d: %d rows (safe snapshot), %d commits discarded@."
     p.Replica.promote_cseq (row_count p.Replica.engine) p.Replica.discarded_commits
 
-let run_chaos seed duration workers failover replicas quorum partitions net_chaos explain
-    trace_out trace_capacity kill_points kill_every torn_writes wal_out =
-  if kill_points > 0 then run_torture seed kill_points kill_every torn_writes wal_out
+let run_chaos seed cert_str duration workers failover replicas quorum partitions net_chaos
+    explain trace_out trace_capacity kill_points kill_every torn_writes wal_out =
+  let certifier = certifier_of_string cert_str in
+  if kill_points > 0 then run_torture seed certifier kill_points kill_every torn_writes wal_out
   else begin
   let rows = 100 in
   let plan = F.gen_plan ~seed ~horizon:duration ~failover ~partitions ~net_chaos () in
-  Format.printf "chaos seed=%d horizon=%.1fs workers=%d replicas=%d@." seed duration workers
-    replicas;
+  Format.printf "chaos seed=%d certifier=%s horizon=%.1fs workers=%d replicas=%d@." seed
+    (Certifier.kind_to_string certifier)
+    duration workers replicas;
   Format.printf "fault plan:@.";
   List.iter (fun l -> Format.printf "  %s@." l) (F.describe plan);
   let log_lines = ref [] in
@@ -372,6 +410,7 @@ let run_chaos seed duration workers failover replicas quorum partitions net_chao
     {
       Driver.default_bench with
       Driver.mode = Driver.SSI;
+      certifier;
       workers;
       duration;
       warmup = 0.;
@@ -510,6 +549,14 @@ let wl_arg =
 let mode_arg =
   Arg.(value & opt string "ssi" & info [ "mode" ] ~doc:"si, ssi, ssi-noro or s2pl")
 
+let certifier_arg =
+  Arg.(value & opt string "ssi"
+       & info [ "certifier" ]
+           ~doc:
+             "Serializability certifier for serializable modes: ssi (the paper's \
+              dangerous-structure detection), ssn (Serial Safety Net exclusion windows) \
+              or essn (SSN with the read-only effective-stamp refinement)")
+
 let workers_arg = Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Concurrent sessions")
 
 let duration_arg =
@@ -519,7 +566,9 @@ let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
 
 let workload_cmd =
   Cmd.v (Cmd.info "workload" ~doc:"Run one workload configuration and report its numbers")
-    Term.(const run_workload $ wl_arg $ mode_arg $ workers_arg $ duration_arg $ seed_arg)
+    Term.(
+      const run_workload $ wl_arg $ mode_arg $ certifier_arg $ workers_arg $ duration_arg
+      $ seed_arg)
 
 let stats_cmd =
   Cmd.v
@@ -527,7 +576,9 @@ let stats_cmd =
        ~doc:
          "Run a workload, then dump every metric in the observability registry \
           (counters, gauges, latency histograms) as a table")
-    Term.(const run_stats $ wl_arg $ mode_arg $ workers_arg $ duration_arg $ seed_arg)
+    Term.(
+      const run_stats $ wl_arg $ mode_arg $ certifier_arg $ workers_arg $ duration_arg
+      $ seed_arg)
 
 let trace_cmd =
   let filter_arg =
@@ -545,8 +596,8 @@ let trace_cmd =
          "Run a workload, then dump the retained structured trace events (commits, \
           aborts, conflicts, summarizations) as JSON Lines")
     Term.(
-      const run_trace $ wl_arg $ mode_arg $ workers_arg $ duration_arg $ seed_arg
-      $ filter_arg $ limit_arg)
+      const run_trace $ wl_arg $ mode_arg $ certifier_arg $ workers_arg $ duration_arg
+      $ seed_arg $ filter_arg $ limit_arg)
 
 let explain_cmd =
   let cap_arg =
@@ -559,11 +610,13 @@ let explain_cmd =
   Cmd.v
     (Cmd.info "explain"
        ~doc:
-         "Run a workload, then reconstruct and pretty-print the dangerous structure \
-          (T1 --rw--> T2 --rw--> T3, the rule that fired, the victim-selection reason) \
-          behind every SSI serialization failure")
+         "Run a workload, then reconstruct and pretty-print the conflict evidence behind \
+          every serialization failure: the dangerous structure (T1 --rw--> T2 --rw--> T3, \
+          the rule that fired, the victim-selection reason) under SSI, or the closed \
+          exclusion window (pstamp/sstamp and the peer that closed it) under SSN/ESSN")
     Term.(
-      const run_explain $ wl_arg $ mode_arg $ workers_arg $ duration_arg $ seed_arg $ cap_arg)
+      const run_explain $ wl_arg $ mode_arg $ certifier_arg $ workers_arg $ duration_arg
+      $ seed_arg $ cap_arg)
 
 let chaos_cmd =
   let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Fault-plan seed") in
@@ -653,9 +706,10 @@ let chaos_cmd =
           replica lag, network partitions and chaos) and report resilience counters; with \
           $(b,--kill-points), run the kill-point recovery torture sweep instead")
     Term.(
-      const run_chaos $ seed_arg $ duration_arg $ workers_arg $ failover_arg $ replicas_arg
-      $ quorum_arg $ partitions_arg $ net_chaos_arg $ explain_arg $ trace_out_arg
-      $ trace_capacity_arg $ kill_points_arg $ kill_every_arg $ torn_writes_arg $ wal_out_arg)
+      const run_chaos $ seed_arg $ certifier_arg $ duration_arg $ workers_arg $ failover_arg
+      $ replicas_arg $ quorum_arg $ partitions_arg $ net_chaos_arg $ explain_arg
+      $ trace_out_arg $ trace_capacity_arg $ kill_points_arg $ kill_every_arg
+      $ torn_writes_arg $ wal_out_arg)
 
 let recover_cmd =
   let file_arg =

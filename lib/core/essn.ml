@@ -1,0 +1,16 @@
+(* The Extended Serial Safety Net (Kitazawa et al.): SSN with the
+   effective-commit-stamp refinement.  A transaction that is read-only in
+   the theorems' sense — declared [READ ONLY], or committed without
+   writing — reads exactly its snapshot and is therefore serializable at
+   its snapshot position.  ESSN exploits this by handing such a
+   transaction's successors the effective stamp e(T) = snap_cseq(T)
+   instead of the commit stamp c(T) in every pstamp propagation, which
+   keeps writers' high watermarks lower and prunes exclusion-window
+   violations that plain SSN would abort on.  SSN is recovered exactly by
+   e = c, so the whole implementation lives in {!Ssn} behind its
+   [extended] switch; this module is the named instance the certifier
+   factory exposes as [ESSN]. *)
+
+include Ssn
+
+let create ?config ?obs clog = Ssn.create ?config ?obs ~extended:true clog

@@ -572,6 +572,40 @@ let on_index_page_split t ~index ~old_page ~new_page =
       | Some c -> set_old_committed t (Index_page (index, new_page)) (entry_of t (Index_page (index, new_page))) c
       | None -> ())
 
+(* Gap-lock inheritance for next-key locking.  A reader's lock on an index
+   key guards the open gap below that key; when a physical index-entry
+   insert at [key] splits that gap, or a rollback removing [key] merges it
+   into the successor's, the guarding locks must follow the gap or a later
+   insert into it would miss the reader.  Inheritance copies (never moves)
+   holders and the committed-reader mark, so coverage only widens: the
+   worst case is a spurious rw conflict, never a hidden one.  This mirrors
+   {!on_index_page_split}, which does the same for page-granularity gaps. *)
+let inherit_gap_locks t ~src ~dst =
+  match Target_table.find_opt t.table src with
+  | None -> ()
+  | Some e ->
+      let holders = e.holders and old_c = e.old_committed in
+      List.iter
+        (fun owner ->
+          match dst with
+          | Index_key (index, key) -> lock_index_key t ~owner ~index ~key
+          | Index_inf index -> lock_index_inf t ~owner ~index
+          | Relation _ | Page _ | Tuple _ | Index_page _ | Index_rel _ -> ())
+        holders;
+      (match old_c with
+      | Some c -> set_old_committed t dst (entry_of t dst) c
+      | None -> ())
+
+let gap_target index = function
+  | Some s -> Index_key (index, s)
+  | None -> Index_inf index
+
+let on_index_key_insert t ~index ~key ~succ =
+  inherit_gap_locks t ~src:(gap_target index succ) ~dst:(Index_key (index, key))
+
+let on_index_key_remove t ~index ~key ~succ =
+  inherit_gap_locks t ~src:(Index_key (index, key)) ~dst:(gap_target index succ)
+
 let promote_relation t ~rel =
   (* Every owner's page/tuple locks on [rel] become a relation lock; the
      dummy owner's become a dummy relation-level lock. *)

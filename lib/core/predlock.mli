@@ -124,6 +124,21 @@ val on_index_page_split : t -> index:string -> old_page:int -> new_page:int -> u
 (** Copy every lock on the old leaf page to the new one, so gap coverage
     survives B+-tree splits. *)
 
+val on_index_key_insert :
+  t -> index:string -> key:Value.t -> succ:Value.t option -> unit
+(** A physical index entry was inserted at [key], splitting the gap
+    guarded by [succ] (or by the +inf sentinel when [succ] is [None]):
+    copy the gap's locks down onto [key], so a later insert below [key]
+    still sees the readers of the original gap.  Must be called for every
+    physical insert into a next-key index, whatever the inserter's
+    isolation level — an SI transaction's insert splits gaps too. *)
+
+val on_index_key_remove :
+  t -> index:string -> key:Value.t -> succ:Value.t option -> unit
+(** The physical entry at [key] was removed (insert rollback), merging
+    its gap into [succ]'s (or the +inf sentinel's): copy the removed
+    key's locks up, so coverage survives the merge. *)
+
 val promote_relation : t -> rel:string -> unit
 (** A rewriting DDL statement invalidated physical locations: promote all
     page and tuple locks on [rel] to relation granularity. *)

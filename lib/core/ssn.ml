@@ -1,0 +1,682 @@
+(* The Serial Safety Net (Wang, Johnson, Fekete): certify serializability
+   with per-transaction low/high watermarks instead of dangerous-structure
+   search.  Every transaction T carries
+
+   - [pstamp] (eta): the highest effective commit stamp among T's committed
+     direct predecessors — transactions whose writes T read or overwrote
+     (w:r, w:w) and committed readers of data T overwrote (r:w in-edges);
+   - [sstamp] (pi): the lowest watermark among T's committed
+     rw-antidependency successors (transactions that overwrote data T read
+     and committed before T), [invalid_cseq] (+inf) while there are none.
+
+   The exclusion-window test: committing T is unsafe iff
+   [sstamp <= pstamp] — some successor's serial position has fallen at or
+   below a predecessor's, so no serial order can place T between them.
+   Stamps only tighten (pstamp grows, sstamp shrinks), so the test is
+   monotone and can be run eagerly at every stamp mutation: a transaction
+   whose window closes is doomed on the spot rather than at commit, which
+   aborts exactly the same set of transactions but wastes less work — the
+   same eager style the SSI manager uses.
+
+   The extended variant (ESSN, Kitazawa et al.) refines the effective
+   commit stamp: a transaction that is read-only in the theorems' sense
+   (declared, or committed without writing) is serializable at its
+   snapshot, so its successors inherit e(T) = snap_cseq(T) instead of
+   c(T), keeping writers' pstamps lower and pruning SSN false positives.
+   SSN is the special case e = c.
+
+   Stamp bookkeeping per edge class:
+   - w:r and w:w predecessors are reported by the engine via {!read_from}
+     with the creator xid of every visible (or overwritten) version; the
+     commit stamp comes from the Clog, so no SSN node needs to be
+     retained for them.  Version creators wrote by definition, so
+     e = c even under ESSN.
+   - r:w edges are found exactly like SSI finds them: SIREAD locks looked
+     up at write time ({!write_check}), and MVCC visibility evidence at
+     read time ({!conflict_out}).  Edges with a committed endpoint fold
+     into the stamps immediately; edges between two live transactions are
+     kept on intrusive-in-spirit (plain list) edge sets and resolved when
+     either endpoint commits.
+
+   Prepared transactions (2PC) can no longer abort and commit without a
+   check, so the commit-time propagation must never close a prepared
+   window.  Three gates keep the invariant:
+   - preparing T fails if T has any rw edge to another prepared
+     transaction, so no rw edge ever connects two prepared transactions;
+   - a committer X fails (actor gives way) if its pi would close a
+     prepared in-edge reader's window;
+   - a committing reader Y fails if its effective stamp would close a
+     prepared out-edge writer's window.
+   Crash recovery restores in-doubt prepared transactions with the
+   conservative stamps [pstamp = sstamp = 0]: every future transaction
+   that forms an rw edge with a restored one gives way, generalizing the
+   paper's §7.1 both-ways conflict flags. *)
+
+open Ssi_storage
+module Mvcc = Ssi_mvcc.Mvcc
+module Obs = Ssi_obs.Obs
+
+type cseq = Mvcc.cseq
+
+let inf = Mvcc.invalid_cseq
+
+type status = Active | Prepared | Committed | Aborted
+
+type node = {
+  xid : Heap.xid;
+  snap_cseq : cseq;
+  declared_read_only : bool;
+  mutable status : status;
+  mutable doomed : bool;
+  mutable wrote : bool;
+  mutable commit_cseq : cseq;
+  mutable pstamp : cseq;  (** eta: high watermark of committed predecessors *)
+  mutable sstamp : cseq;  (** pi: low watermark of committed rw-successors; [inf] = none *)
+  mutable in_readers : node list;  (** readers r with r --rw--> me *)
+  mutable out_writers : node list;  (** writers w with me --rw--> w *)
+}
+
+type metrics = {
+  m_conflicts : Obs.counter;
+  m_dooms : Obs.counter;
+  m_failures : Obs.counter;
+  m_summarized : Obs.counter;
+  m_cleanups : Obs.counter;
+}
+
+(* Summarized committed transactions (the oldserxid analog, §6.2 of the
+   SSI paper): commit stamp plus finalized pi, enough to serve late
+   {!conflict_out} lookups after the node itself is dropped. *)
+type old_entry = { old_commit : cseq; old_pi : cseq }
+
+type t = {
+  clog : Mvcc.Clog.t;
+  locks : Predlock.t;
+  mutable config : Ssi.config;
+  extended : bool;  (** ESSN stamp refinement on? *)
+  prefix : string;  (** metric/event namespace: ["ssn"] or ["essn"] *)
+  by_xid : (Heap.xid, node) Hashtbl.t;
+  committed : node Queue.t;  (** retained committed nodes, commit order *)
+  oldserxid : (Heap.xid, old_entry) Hashtbl.t;
+  oldserxid_order : (Heap.xid * cseq) Queue.t;
+  mutable active_n : int;
+  victim_counters : (string, Obs.counter) Hashtbl.t;
+  obs : Obs.t;
+  metrics : metrics;
+}
+
+let create ?(config = Ssi.default_config) ?(obs = Obs.create ()) ~extended clog =
+  let prefix = if extended then "essn" else "ssn" in
+  {
+    clog;
+    locks = Predlock.create ~config:config.Ssi.predlock ~obs ();
+    config;
+    extended;
+    prefix;
+    by_xid = Hashtbl.create 64;
+    committed = Queue.create ();
+    oldserxid = Hashtbl.create 64;
+    oldserxid_order = Queue.create ();
+    active_n = 0;
+    victim_counters = Hashtbl.create 8;
+    obs;
+    metrics =
+      {
+        m_conflicts = Obs.counter obs (prefix ^ ".conflicts");
+        m_dooms = Obs.counter obs (prefix ^ ".dooms");
+        m_failures = Obs.counter obs (prefix ^ ".failures");
+        m_summarized = Obs.counter obs (prefix ^ ".summarized");
+        m_cleanups = Obs.counter obs (prefix ^ ".cleanups");
+      };
+  }
+
+let locks t = t.locks
+let obs t = t.obs
+let prefix t = t.prefix
+let max_committed_sxacts t = t.config.Ssi.max_committed_sxacts
+
+let set_max_committed_sxacts t n =
+  t.config <- { t.config with Ssi.max_committed_sxacts = max 0 n }
+
+let xid_of n = n.xid
+let snap_cseq_of n = n.snap_cseq
+let is_doomed n = n.doomed
+let is_read_only n = n.declared_read_only
+let active_count t = t.active_n
+let committed_retained t = Queue.length t.committed
+let oldserxid_size t = Hashtbl.length t.oldserxid
+
+(* "Read-only" in the theorems' sense: declared as such, or known to have
+   committed without writing. *)
+let ro_in_theory n = n.declared_read_only || (n.status = Committed && not n.wrote)
+
+(* ESSN: the effective commit stamp a committed transaction hands to its
+   successors.  A read-only transaction is serializable at its snapshot,
+   so it repositions there; everyone else sits at its commit stamp. *)
+let e_of t n =
+  if t.extended && t.config.Ssi.read_only_opt && ro_in_theory n then n.snap_cseq
+  else n.commit_cseq
+
+(* The stamp a still-active reader would hand out if it committed right
+   now: a fresh commit stamp exceeds every stamp recorded so far, which
+   [inf] stands in for; an ESSN read-only transaction repositions at its
+   snapshot, which is already known. *)
+let e_estimate t n =
+  if t.extended && t.config.Ssi.read_only_opt && n.declared_read_only then n.snap_cseq
+  else inf
+
+(* ---- Victim accounting (same shape as the SSI manager's) ---------------- *)
+
+let reason_slug reason =
+  String.map
+    (fun c -> match c with 'a' .. 'z' | '0' .. '9' -> c | _ -> '_')
+    (String.lowercase_ascii reason)
+
+let count_victim t reason =
+  let c =
+    match Hashtbl.find_opt t.victim_counters reason with
+    | Some c -> c
+    | None ->
+        let c = Obs.counter t.obs (t.prefix ^ ".victims." ^ reason_slug reason) in
+        Hashtbl.add t.victim_counters reason c;
+        c
+  in
+  Obs.incr c
+
+(* Every doom/fail decision leaves one [<prefix>.exclusion] event carrying
+   the victim's closed window — the raw material [pg_ssi explain] renders
+   for SSN/ESSN aborts the way it renders T1->T2->T3 structures for SSI.
+   [peer] is the transaction whose stamp closed the window (-1 when the
+   window was already closed, e.g. a conservative restored stamp). *)
+let record_exclusion t ~victim ~reason ~pstamp ~sstamp ~peer =
+  Obs.span_event_owner t.obs victim (t.prefix ^ ".exclusion")
+    ~fields:
+      [
+        ("victim", Obs.I victim);
+        ("reason", Obs.S reason);
+        ("pstamp", Obs.I pstamp);
+        ("sstamp", Obs.I (if sstamp = inf then -1 else sstamp));
+        ("peer", Obs.I peer);
+      ]
+
+let fail t node reason =
+  Obs.incr t.metrics.m_failures;
+  count_victim t reason;
+  Obs.span_event_owner t.obs node.xid (t.prefix ^ ".fail")
+    ~fields:[ ("xid", Obs.I node.xid); ("reason", Obs.S reason) ];
+  raise (Ssi.Serialization_failure { xid = node.xid; reason })
+
+let doom t victim ~reason =
+  if not victim.doomed then begin
+    victim.doomed <- true;
+    Obs.incr t.metrics.m_dooms;
+    count_victim t reason;
+    Obs.span_event_owner t.obs victim.xid (t.prefix ^ ".doom")
+      ~fields:[ ("xid", Obs.I victim.xid); ("reason", Obs.S reason) ]
+  end
+
+let check_doomed node =
+  if node.doomed then
+    raise
+      (Ssi.Serialization_failure
+         { xid = node.xid; reason = "transaction doomed by a concurrent conflict" })
+
+let note_write node = node.wrote <- true
+
+(* ---- Stamp mutation with the eager window check --------------------------- *)
+
+let closed n = n.sstamp <= n.pstamp
+
+(* The window of [n] just closed because of [peer]'s stamp.  If [n] is the
+   acting transaction, raise; if it is an active bystander, doom it.  A
+   prepared [n] can do neither — the prepare/precommit gates exist to make
+   this unreachable, but if a conservative path ever lands here the actor
+   gives way. *)
+let resolve_closed t ~actor ~peer n ~reason =
+  record_exclusion t ~victim:n.xid ~reason ~pstamp:n.pstamp ~sstamp:n.sstamp
+    ~peer;
+  if n == actor then fail t n reason
+  else
+    match n.status with
+    | Active -> doom t n ~reason
+    | Prepared | Committed | Aborted -> fail t actor reason
+
+(* Absorb a committed successor's watermark into [n]'s sstamp. *)
+let absorb_pi t ~actor ~peer n pi ~reason =
+  if pi < n.sstamp then begin
+    n.sstamp <- pi;
+    if closed n && not n.doomed then resolve_closed t ~actor ~peer n ~reason
+  end
+
+(* Absorb a committed predecessor's effective stamp into [n]'s pstamp. *)
+let absorb_eta t ~actor ~peer n e ~reason =
+  if e > n.pstamp then begin
+    n.pstamp <- e;
+    if closed n && not n.doomed then resolve_closed t ~actor ~peer n ~reason
+  end
+
+let reason_pred = "exclusion window closed by committed predecessor"
+let reason_succ = "exclusion window closed by committed rw-successor"
+let reason_peer_commit = "exclusion window closed by committing peer"
+let reason_prepared = "rw conflict resolved in a prepared transaction's favour"
+
+(* ---- Edges ----------------------------------------------------------------- *)
+
+let add_edge t ~actor ~reader ~writer =
+  if
+    reader != writer
+    && (not reader.doomed) && (not writer.doomed)
+    && reader.status <> Aborted && writer.status <> Aborted
+    && not (List.memq writer reader.out_writers)
+  then begin
+    reader.out_writers <- writer :: reader.out_writers;
+    writer.in_readers <- reader :: writer.in_readers;
+    Obs.incr t.metrics.m_conflicts;
+    Obs.span_event_owner t.obs actor.xid (t.prefix ^ ".rw_edge")
+      ~fields:
+        [
+          ("reader", Obs.I reader.xid);
+          ("writer", Obs.I writer.xid);
+          ("reader_sstamp", Obs.I (if reader.sstamp = inf then -1 else reader.sstamp));
+          ("writer_pstamp", Obs.I writer.pstamp);
+        ];
+    (* An edge with a committed endpoint folds into the live endpoint's
+       stamp immediately; a fully in-flight edge is resolved when either
+       endpoint commits. *)
+    if writer.status = Committed then
+      absorb_pi t ~actor ~peer:writer.xid reader writer.sstamp ~reason:reason_succ
+    else if reader.status = Committed then
+      absorb_eta t ~actor ~peer:reader.xid writer (e_of t reader) ~reason:reason_pred
+  end
+
+let detach n =
+  List.iter
+    (fun r -> r.out_writers <- List.filter (fun w -> w != n) r.out_writers)
+    n.in_readers;
+  List.iter
+    (fun w -> w.in_readers <- List.filter (fun r -> r != n) w.in_readers)
+    n.out_writers;
+  n.in_readers <- [];
+  n.out_writers <- []
+
+(* ---- Registration ---------------------------------------------------------- *)
+
+let register t ~xid ~snap_cseq ~read_only ~deferrable =
+  if deferrable then invalid_arg "Ssn.register: deferrable requires the SSI certifier";
+  let node =
+    {
+      xid;
+      snap_cseq;
+      declared_read_only = read_only;
+      status = Active;
+      doomed = false;
+      wrote = false;
+      commit_cseq = inf;
+      pstamp = 0;
+      sstamp = inf;
+      in_readers = [];
+      out_writers = [];
+    }
+  in
+  Hashtbl.replace t.by_xid xid node;
+  t.active_n <- t.active_n + 1;
+  node
+
+(* ---- Reads ------------------------------------------------------------------ *)
+
+let read_tuple t node ~rel ~key ~page =
+  Predlock.lock_tuple t.locks ~owner:node.xid ~rel ~key ~page
+
+let read_tuples_page t node ~rel ~page ~keys =
+  Predlock.lock_tuples_page t.locks ~owner:node.xid ~rel ~page ~keys
+
+let read_relation t node ~rel = Predlock.lock_relation t.locks ~owner:node.xid ~rel
+
+let read_index_gap t node ~index ~page =
+  Predlock.lock_index_page t.locks ~owner:node.xid ~index ~page
+
+let read_index_key t node ~index ~key =
+  Predlock.lock_index_key t.locks ~owner:node.xid ~index ~key
+
+let read_index_inf t node ~index = Predlock.lock_index_inf t.locks ~owner:node.xid ~index
+let read_index_rel t node ~index = Predlock.lock_index_rel t.locks ~owner:node.xid ~index
+
+(* w:r / w:w predecessor: the transaction read (or is about to overwrite) a
+   version created by [creator].  Version creators wrote, so their
+   effective stamp is their commit stamp even under ESSN, and the Clog
+   remembers it forever — no SSN node required. *)
+let read_from t node ~creator =
+  if creator <> node.xid then
+    match Mvcc.Clog.status t.clog creator with
+    | Mvcc.Clog.Committed c ->
+        absorb_eta t ~actor:node ~peer:creator node c ~reason:reason_pred
+    | Mvcc.Clog.In_progress | Mvcc.Clog.Aborted -> ()
+
+(* r:w out-edge from MVCC visibility evidence: [node] read a version that
+   [writer] overwrote (or deleted), so [writer] serializes after [node]. *)
+let conflict_out t node ~writer =
+  if writer <> node.xid then
+    match Hashtbl.find_opt t.by_xid writer with
+    | Some w -> add_edge t ~actor:node ~reader:node ~writer:w
+    | None -> (
+        match Hashtbl.find_opt t.oldserxid writer with
+        | None -> () (* writer was not serializable *)
+        | Some { old_commit = _; old_pi } ->
+            Obs.incr t.metrics.m_conflicts;
+            Obs.span_event_owner t.obs node.xid (t.prefix ^ ".rw_edge")
+              ~fields:
+                [
+                  ("reader", Obs.I node.xid);
+                  ("writer", Obs.I writer);
+                  ("summarized", Obs.B true);
+                ];
+            absorb_pi t ~actor:node ~peer:writer node old_pi ~reason:reason_succ)
+
+let forget_own_tuple_lock t node ~rel ~key ~in_subtransaction =
+  if not in_subtransaction then Predlock.unlock_tuple t.locks ~owner:node.xid ~rel ~key
+
+(* ---- Writes ----------------------------------------------------------------- *)
+
+(* r:w in-edges at write time: SIREAD owners of what [node] is writing.
+   Unlike SSI, a reader that committed before the writer's snapshot still
+   matters — its effective stamp feeds the writer's pstamp (the predicate
+   lock horizon below the minimum active snapshot is the only sound
+   cutoff; see DESIGN.md). *)
+let conflict_in_readers t node readers =
+  let { Predlock.xids; old_committed } = readers in
+  List.iter
+    (fun rxid ->
+      if rxid <> node.xid then
+        match Hashtbl.find_opt t.by_xid rxid with
+        | None -> () (* lock of a cleaned-up owner: stale, ignore *)
+        | Some r -> add_edge t ~actor:node ~reader:r ~writer:node)
+    xids;
+  match old_committed with
+  | Some e ->
+      (* Summarized committed readers: the predicate lock records the max
+         effective stamp among them (ESSN records e, not c). *)
+      Obs.incr t.metrics.m_conflicts;
+      absorb_eta t ~actor:node ~peer:(-1) node e ~reason:reason_pred
+  | None -> ()
+
+let write_check t node ~rel ~key ~page =
+  note_write node;
+  conflict_in_readers t node (Predlock.readers_for_write t.locks ~rel ~key ~page)
+
+let index_insert_check t node ~index ~page =
+  conflict_in_readers t node (Predlock.readers_for_index_insert t.locks ~index ~page)
+
+let index_insert_check_nextkey t node ~index ~key ~succ =
+  conflict_in_readers t node
+    (Predlock.readers_for_index_insert_nextkey t.locks ~index ~key ~succ)
+
+(* ---- Cleanup and summarization ---------------------------------------------- *)
+
+let min_active_snap t =
+  let acc = ref inf in
+  Hashtbl.iter
+    (fun _ n ->
+      match n.status with
+      | Active | Prepared -> if n.snap_cseq < !acc then acc := n.snap_cseq
+      | Committed | Aborted -> ())
+    t.by_xid;
+  !acc
+
+let summarize_oldest t =
+  match Queue.take_opt t.committed with
+  | None -> ()
+  | Some c ->
+      Obs.incr t.metrics.m_summarized;
+      Obs.trace t.obs
+        (t.prefix ^ ".summarize")
+        ~fields:[ ("xid", Obs.I c.xid); ("cseq", Obs.I c.commit_cseq) ];
+      (* The predicate-lock record carries the reader's *effective* stamp:
+         under ESSN a summarized read-only reader keeps contributing its
+         snapshot position, not its commit stamp. *)
+      Predlock.summarize_owner t.locks c.xid ~cseq:(e_of t c);
+      Hashtbl.replace t.oldserxid c.xid
+        { old_commit = c.commit_cseq; old_pi = c.sstamp };
+      Queue.add (c.xid, c.commit_cseq) t.oldserxid_order;
+      detach c;
+      Hashtbl.remove t.by_xid c.xid
+
+let cleanup t =
+  Obs.incr t.metrics.m_cleanups;
+  let horizon = min_active_snap t in
+  (* A committed transaction concurrent with no active transaction can
+     never again be reached by a new edge (every future snapshot is past
+     its commit), so its locks, edges and stamps are dead state. *)
+  let rec drain () =
+    match Queue.peek_opt t.committed with
+    | Some c when c.commit_cseq < horizon ->
+        ignore (Queue.pop t.committed);
+        Predlock.release_owner t.locks c.xid;
+        detach c;
+        Hashtbl.remove t.by_xid c.xid;
+        drain ()
+    | Some _ | None -> ()
+  in
+  drain ();
+  while Queue.length t.committed > t.config.Ssi.max_committed_sxacts do
+    summarize_oldest t
+  done;
+  Predlock.cleanup_old_committed t.locks ~before:horizon;
+  let rec purge () =
+    match Queue.peek_opt t.oldserxid_order with
+    | Some (xid, c) when c < horizon ->
+        ignore (Queue.pop t.oldserxid_order);
+        (match Hashtbl.find_opt t.oldserxid xid with
+        | Some e when e.old_commit = c -> Hashtbl.remove t.oldserxid xid
+        | Some _ | None -> ());
+        purge ()
+    | Some _ | None -> ()
+  in
+  purge ()
+
+(* ---- Commit / abort ---------------------------------------------------------- *)
+
+(* The 2PC gates (see the header comment).  [committing] distinguishes the
+   precommit form (my commit stamp is about to exist) from the prepare
+   form. *)
+let gate_prepared_in t node =
+  (* Committing [node] hands pi(node) = min(sstamp, fresh c) to every
+     in-edge reader.  A prepared reader cannot be doomed, so if that would
+     close its window the committer gives way. *)
+  List.iter
+    (fun r ->
+      if r.status = Prepared && min r.sstamp node.sstamp <= r.pstamp then begin
+        record_exclusion t ~victim:node.xid ~reason:reason_prepared
+          ~pstamp:r.pstamp ~sstamp:(min r.sstamp node.sstamp) ~peer:r.xid;
+        fail t node reason_prepared
+      end)
+    node.in_readers
+
+let gate_prepared_out t node =
+  (* Committing reader [node] hands e(node) to every out-edge writer.  For
+     SSN e is a fresh commit stamp exceeding every finite sstamp; for an
+     ESSN read-only transaction it is the (known) snapshot position. *)
+  let ey = e_estimate t node in
+  List.iter
+    (fun w ->
+      if w.status = Prepared then begin
+        let closes =
+          if w.sstamp >= inf then false
+          else if ey >= inf then true
+          else w.sstamp <= max w.pstamp ey
+        in
+        if closes then begin
+          record_exclusion t ~victim:node.xid ~reason:reason_prepared
+            ~pstamp:(max w.pstamp (min ey (inf - 1)))
+            ~sstamp:w.sstamp ~peer:w.xid;
+          fail t node reason_prepared
+        end
+      end)
+    node.out_writers
+
+let check_own_window t node =
+  if closed node then begin
+    record_exclusion t ~victim:node.xid
+      ~reason:"exclusion window closed at commit" ~pstamp:node.pstamp
+      ~sstamp:node.sstamp ~peer:(-1);
+    fail t node "exclusion window closed at commit"
+  end
+
+let precommit t node =
+  check_doomed node;
+  check_own_window t node;
+  gate_prepared_in t node;
+  gate_prepared_out t node
+
+let prepare t node =
+  check_doomed node;
+  check_own_window t node;
+  (* No rw edge may ever connect two prepared transactions: a later
+     commit-time propagation between them could be resolved in neither
+     endpoint's favour.  New edges always have at least one active
+     endpoint, so failing the preparer here keeps the invariant. *)
+  if
+    List.exists (fun r -> r.status = Prepared) node.in_readers
+    || List.exists (fun w -> w.status = Prepared) node.out_writers
+  then fail t node "rw conflict with a prepared transaction";
+  node.status <- Prepared
+
+let restore_prepared _t node =
+  (* Cold-start recovery of an in-doubt 2PC transaction: its stamps did not
+     survive the crash.  [pstamp = sstamp = 0] is the conservative
+     fixpoint — the window is permanently closed, so every transaction
+     that later forms an rw edge with this one gives way (the prepared
+     gates above), and its own eventual commit dooms all in-flight
+     readers.  The 2PC outcome itself is never blocked: commit_prepared
+     runs no check. *)
+  node.status <- Prepared;
+  node.wrote <- true;
+  node.pstamp <- 0;
+  node.sstamp <- 0
+
+let committed t node ~commit_cseq =
+  node.status <- Committed;
+  node.commit_cseq <- commit_cseq;
+  (* Finalize pi: successors committed before me already lowered sstamp;
+     my own commit stamp caps it. *)
+  if commit_cseq < node.sstamp then node.sstamp <- commit_cseq;
+  let e = e_of t node in
+  (* Resolve the in-flight edges: I am the committed endpoint now. *)
+  List.iter
+    (fun r ->
+      match r.status with
+      | Active | Prepared ->
+          if not r.doomed then
+            absorb_pi t ~actor:node ~peer:node.xid r node.sstamp
+              ~reason:reason_peer_commit
+      | Committed | Aborted -> ())
+    node.in_readers;
+  List.iter
+    (fun w ->
+      match w.status with
+      | Active | Prepared ->
+          if not w.doomed then
+            absorb_eta t ~actor:node ~peer:node.xid w e ~reason:reason_peer_commit
+      | Committed | Aborted -> ())
+    node.out_writers;
+  t.active_n <- t.active_n - 1;
+  Queue.add node t.committed;
+  cleanup t
+
+let aborted t node =
+  node.status <- Aborted;
+  detach node;
+  Predlock.release_owner t.locks node.xid;
+  t.active_n <- t.active_n - 1;
+  Hashtbl.remove t.by_xid node.xid;
+  cleanup t
+
+(* ---- DDL / recovery ---------------------------------------------------------- *)
+
+let on_ddl_rewrite t ~rel = Predlock.promote_relation t.locks ~rel
+
+let on_index_drop t ~index ~heap_rel =
+  Predlock.drop_index_to_relation t.locks ~index ~heap_rel
+
+let on_index_page_split t ~index ~old_page ~new_page =
+  Predlock.on_index_page_split t.locks ~index ~old_page ~new_page
+
+let recover t =
+  (* Non-prepared active transactions disappear; committed bookkeeping is
+     rebuilt from the log by the engine, so drop it wholesale. *)
+  let stale = ref [] in
+  Hashtbl.iter
+    (fun xid n ->
+      match n.status with
+      | Active ->
+          n.status <- Aborted;
+          Predlock.release_owner t.locks n.xid;
+          stale := xid :: !stale;
+          t.active_n <- t.active_n - 1
+      | Committed -> stale := xid :: !stale
+      | Prepared | Aborted -> ())
+    t.by_xid;
+  List.iter (Hashtbl.remove t.by_xid) !stale;
+  Queue.iter (fun c -> Predlock.release_owner t.locks c.xid) t.committed;
+  Queue.clear t.committed;
+  Predlock.cleanup_old_committed t.locks ~before:inf;
+  Hashtbl.reset t.oldserxid;
+  Queue.clear t.oldserxid_order;
+  (* Prepared survivors keep their SIREAD locks but lose their stamps:
+     conservative closed window, as in restore_prepared. *)
+  Hashtbl.iter
+    (fun _ p ->
+      p.in_readers <- [];
+      p.out_writers <- [];
+      p.pstamp <- 0;
+      p.sstamp <- 0)
+    t.by_xid
+
+(* ---- Introspection ------------------------------------------------------------ *)
+
+let node_info n =
+  {
+    Ssi.info_xid = n.xid;
+    info_status =
+      (match n.status with
+      | Active -> "active"
+      | Prepared -> "prepared"
+      | Committed -> "committed"
+      | Aborted -> "aborted");
+    info_doomed = n.doomed;
+    info_read_only = n.declared_read_only;
+    info_safe = false;
+    info_commit_cseq = (if n.status = Committed then Some n.commit_cseq else None);
+    info_in = List.rev_map (fun r -> r.xid) n.in_readers;
+    info_out = List.rev_map (fun w -> w.xid) n.out_writers;
+  }
+
+let dump_graph t =
+  let live = ref [] in
+  Hashtbl.iter
+    (fun _ n ->
+      match n.status with
+      | Active | Prepared -> live := n :: !live
+      | Committed | Aborted -> ())
+    t.by_xid;
+  let live = List.sort (fun a b -> compare a.xid b.xid) !live in
+  let committed = List.of_seq (Queue.to_seq t.committed) in
+  List.map node_info (live @ committed)
+
+let graph_dot t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" t.prefix);
+  List.iter
+    (fun (info : Ssi.node_info) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  t%d [label=\"T%d\\n%s%s\"%s];\n" info.Ssi.info_xid
+           info.Ssi.info_xid info.Ssi.info_status
+           (if info.Ssi.info_doomed then " (doomed)" else "")
+           (if info.Ssi.info_doomed then " color=red" else ""));
+      List.iter
+        (fun w ->
+          Buffer.add_string buf
+            (Printf.sprintf "  t%d -> t%d [label=\"rw\"];\n" info.Ssi.info_xid w))
+        info.Ssi.info_out)
+    (dump_graph t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -5,6 +5,7 @@ module Clog = Mvcc.Clog
 module Snapshot = Mvcc.Snapshot
 module Visibility = Mvcc.Visibility
 module Ssi = Ssi_core.Ssi
+module Certifier = Ssi_core.Certifier
 module Btree = Ssi_btree.Btree
 module Lockmgr = Ssi_lockmgr.Lockmgr
 module Obs = Ssi_obs.Obs
@@ -62,6 +63,10 @@ type commit_record = {
 
 type config = {
   ssi : Ssi.config;
+  certifier : Certifier.kind;
+      (** Which serializability certifier SERIALIZABLE transactions run
+          under; SSI (the paper) is the default and the only one with
+          safe snapshots / [DEFERRABLE]. *)
   tuples_per_page : int;
   btree_order : int;
   next_key_gaps : bool;
@@ -73,6 +78,7 @@ type config = {
 let default_config =
   {
     ssi = Ssi.default_config;
+    certifier = Certifier.SSI;
     tuples_per_page = 64;
     btree_order = 32;
     next_key_gaps = false;
@@ -117,7 +123,7 @@ type table_s = { heap : Heap.t; pk_index : index_s; mutable secondary : index_s 
 
 type t = {
   clog : Clog.t;
-  ssi_mgr : Ssi.t;
+  cert : Certifier.t;
   locks : Lockmgr.t;
   tables : (string, table_s) Hashtbl.t;
   idx_by_name : (string, index_s) Hashtbl.t;
@@ -141,7 +147,7 @@ and txn = {
   iso : isolation;
   ro : bool;
   mutable snapshot : Snapshot.t;
-  sxact : Ssi.node option;
+  sxact : Certifier.node option;
   mutable finished : bool;
   mutable prepared_gid : string option;
   mutable undo : undo_entry list;  (** stack, newest first *)
@@ -174,7 +180,7 @@ let create ?(scheduler = Waitq.direct) ?(config = default_config) ?obs () =
   let clog = Clog.create () in
   {
     clog;
-    ssi_mgr = Ssi.create ~config:config.ssi ~obs clog;
+    cert = Certifier.make config.certifier ~config:config.ssi ~obs clog;
     locks = Lockmgr.create ~obs scheduler;
     tables = Hashtbl.create 16;
     idx_by_name = Hashtbl.create 16;
@@ -245,7 +251,17 @@ let fault_point db ~op =
         raise e)
 
 let obs t = t.obs
-let ssi t = t.ssi_mgr
+let certifier t = t.cert
+let certifier_kind t = t.cert.Certifier.kind
+
+let ssi t =
+  match t.cert.Certifier.ssi with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Engine.ssi: engine runs the %s certifier, not SSI"
+           (Certifier.kind_to_string t.cert.Certifier.kind))
+
 let active_transactions t = Hashtbl.length t.active
 let table_names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
 
@@ -316,7 +332,7 @@ let table_indexes t ~table =
 
 let hook_split db index =
   Btree.set_on_split index.tree (fun ~old_page ~new_page ->
-      Ssi.on_index_page_split db.ssi_mgr ~index:index.idx_name ~old_page ~new_page)
+      db.cert.Certifier.on_index_page_split ~index:index.idx_name ~old_page ~new_page)
 
 let create_table db ~name ~cols ~key =
   if Hashtbl.mem db.tables name then invalid_arg ("Engine.create_table: duplicate " ^ name);
@@ -384,13 +400,13 @@ let drop_index db ~name =
       Hashtbl.remove db.idx_by_name name;
       (* §5.2.1: index-gap locks are replaced with a relation-level lock on
          the heap. *)
-      Ssi.on_index_drop db.ssi_mgr ~index:name ~heap_rel:index.table_name
+      db.cert.Certifier.on_index_drop ~index:name ~heap_rel:index.table_name
 
 let recluster db ~table =
   let tbl = table_of db table in
   Heap.rewrite tbl.heap;
   (* Physical locations changed: promote page/tuple SIREAD locks (§5.2.1). *)
-  Ssi.on_ddl_rewrite db.ssi_mgr ~rel:table
+  db.cert.Certifier.on_ddl_rewrite ~rel:table
 
 (* ---- Transaction lifecycle ------------------------------------------------- *)
 
@@ -400,7 +416,7 @@ let is_finished txn = txn.finished
 let snapshot_cseq txn = txn.snapshot.Snapshot.horizon
 
 let snapshot_is_safe txn =
-  match txn.sxact with Some node -> Ssi.is_safe node | None -> false
+  match txn.sxact with Some node -> txn.db.cert.Certifier.is_safe node | None -> false
 
 let make_txn db ~iso ~ro ~xid ~snapshot ~sxact ~span =
   (* Without a client-supplied span the transaction roots its own trace,
@@ -457,16 +473,16 @@ let rec begin_deferrable ?span db =
   let xid = Clog.new_xid db.clog in
   let snapshot = Snapshot.take db.clog ~owner:xid in
   let node =
-    Ssi.register db.ssi_mgr ~xid ~snap_cseq:snapshot.Snapshot.horizon ~read_only:true
+    db.cert.Certifier.register ~xid ~snap_cseq:snapshot.Snapshot.horizon ~read_only:true
       ~deferrable:true
   in
-  while not (Ssi.safety_determined node) do
-    db.sched.suspend (Ssi.safety_waitq node)
+  while not (db.cert.Certifier.safety_determined node) do
+    db.sched.suspend (db.cert.Certifier.safety_waitq node)
   done;
-  if Ssi.is_safe node then
+  if db.cert.Certifier.is_safe node then
     make_txn db ~iso:Serializable ~ro:true ~xid ~snapshot ~sxact:(Some node) ~span
   else begin
-    Ssi.aborted db.ssi_mgr node;
+    db.cert.Certifier.aborted node;
     Clog.abort db.clog xid;
     begin_deferrable ?span db
   end
@@ -477,6 +493,10 @@ let begin_txn ?(isolation = Serializable) ?(read_only = false) ?(deferrable = fa
       invalid_arg "Engine.begin_txn: DEFERRABLE requires READ ONLY SERIALIZABLE";
     if not db.cfg.ssi.Ssi.read_only_opt then
       invalid_arg "Engine.begin_txn: DEFERRABLE requires the read-only optimizations";
+    if not db.cert.Certifier.supports_deferrable then
+      invalid_arg
+        (Printf.sprintf "Engine.begin_txn: DEFERRABLE requires the SSI certifier (running %s)"
+           (Certifier.kind_to_string db.cert.Certifier.kind));
     begin_deferrable ?span db
   end
   else begin
@@ -486,7 +506,7 @@ let begin_txn ?(isolation = Serializable) ?(read_only = false) ?(deferrable = fa
       match isolation with
       | Serializable ->
           Some
-            (Ssi.register db.ssi_mgr ~xid ~snap_cseq:snapshot.Snapshot.horizon
+            (db.cert.Certifier.register ~xid ~snap_cseq:snapshot.Snapshot.horizon
                ~read_only ~deferrable:false)
       | Read_committed | Repeatable_read | Serializable_2pl -> None
     in
@@ -501,14 +521,16 @@ let begin_txn ?isolation ?read_only ?deferrable ?span db =
    snapshot-isolation transactions and safe-snapshot read-only transactions
    have no (active) sxact. *)
 let tracking txn =
-  match txn.sxact with Some node when not (Ssi.is_safe node) -> Some node | _ -> None
+  match txn.sxact with
+  | Some node when not (txn.db.cert.Certifier.is_safe node) -> Some node
+  | _ -> None
 
 let ensure_running txn =
   if txn.crashed then
     raise (Transient_fault { op = "txn"; reason = "connection lost: server crashed" });
   if txn.finished then invalid_arg "Engine: transaction already finished";
   if txn.prepared_gid <> None then invalid_arg "Engine: transaction is prepared";
-  match txn.sxact with Some node -> Ssi.check_doomed node | None -> ()
+  match txn.sxact with Some node -> txn.db.cert.Certifier.check_doomed node | None -> ()
 
 let start_op txn =
   ensure_running txn;
@@ -535,9 +557,20 @@ let refresh_stmt_snapshot txn =
 
 (* ---- Undo ------------------------------------------------------------------- *)
 
-let apply_undo_entry = function
+let apply_undo_entry db = function
   | U_new_version (tbl, key) -> Heap.unlink_head tbl.heap key
-  | U_index_entry (idx, ikey, pk) -> ignore (Btree.delete idx.tree ~key:ikey ~pk)
+  | U_index_entry (idx, ikey, pk) ->
+      (* Rolling back the insert merges the gap the entry had split back
+         into its successor's: locks guarding the vanished key must
+         survive on the successor, or a later insert into the reunited
+         gap would miss those readers.  Only when the key is physically
+         gone — other pks under the same index key keep the gap split. *)
+      if Btree.delete idx.tree ~key:ikey ~pk && idx.next_key
+         && Btree.lookup idx.tree ikey ~pages:(ref []) = []
+      then
+        Predlock.on_index_key_remove db.cert.Certifier.locks
+          ~index:idx.idx_name ~key:ikey
+          ~succ:(Btree.next_key_after idx.tree ikey)
   | U_set_xmax tuple -> Heap.set_xmax tuple Heap.invalid_xid
 
 let rollback_to_length txn ~undo_len ~wal_len =
@@ -545,7 +578,7 @@ let rollback_to_length txn ~undo_len ~wal_len =
     match txn.undo with
     | [] -> txn.undo_len <- 0 (* unreachable: lengths are kept in sync *)
     | e :: rest ->
-        apply_undo_entry e;
+        apply_undo_entry txn.db e;
         txn.undo <- rest;
         txn.undo_len <- txn.undo_len - 1
   done;
@@ -654,7 +687,8 @@ let rec live_head txn tbl key =
 
 (* ---- Shared read path ----------------------------------------------------------- *)
 
-let conflict_out_many node db xs = List.iter (fun w -> Ssi.conflict_out db.ssi_mgr node ~writer:w) xs
+let conflict_out_many node db xs =
+  List.iter (fun w -> db.cert.Certifier.conflict_out node ~writer:w) xs
 
 (* Probe the primary-key index for gap protection, then walk the version
    chain.  Returns the visible version, recording SSI conflicts and
@@ -670,14 +704,15 @@ let ssi_lock_index_gaps db node idx ~hi ~keys ~pages =
       (fun k ->
         if not (Hashtbl.mem seen k) then begin
           Hashtbl.add seen k ();
-          Ssi.read_index_key db.ssi_mgr node ~index:idx.idx_name ~key:k
+          db.cert.Certifier.read_index_key node ~index:idx.idx_name ~key:k
         end)
       keys;
     match Btree.next_key_after idx.tree hi with
-    | Some succ -> Ssi.read_index_key db.ssi_mgr node ~index:idx.idx_name ~key:succ
-    | None -> Ssi.read_index_inf db.ssi_mgr node ~index:idx.idx_name
+    | Some succ -> db.cert.Certifier.read_index_key node ~index:idx.idx_name ~key:succ
+    | None -> db.cert.Certifier.read_index_inf node ~index:idx.idx_name
   end
-  else List.iter (fun p -> Ssi.read_index_gap db.ssi_mgr node ~index:idx.idx_name ~page:p) pages
+  else
+    List.iter (fun p -> db.cert.Certifier.read_index_gap node ~index:idx.idx_name ~page:p) pages
 
 (* Under 2PL an index probe is only valid once shared locks on the visited
    leaf pages are held: acquiring a lock can block, and by the time it is
@@ -738,9 +773,10 @@ let fetch txn tbl key ~for_write =
           (match tracking txn with
           | Some node ->
               (match deleter with
-              | Some w -> Ssi.conflict_out db.ssi_mgr node ~writer:w
+              | Some w -> db.cert.Certifier.conflict_out node ~writer:w
               | None -> ());
-              Ssi.read_tuple db.ssi_mgr node ~rel ~key ~page:(Heap.page_of_tid v.tid)
+              db.cert.Certifier.read_from node ~creator:v.xmin;
+              db.cert.Certifier.read_tuple node ~rel ~key ~page:(Heap.page_of_tid v.tid)
           | None -> ());
           Some v)
 
@@ -798,7 +834,7 @@ let index_scan txn ~table ~index ~lo ~hi =
               if idx.pred_locks then
                 ssi_lock_index_gaps db node idx ~hi ~keys:(List.map fst entries)
                   ~pages:!pages
-              else Ssi.read_index_rel db.ssi_mgr node ~index
+              else db.cert.Certifier.read_index_rel node ~index
           | None -> ());
           (entries, !pages)
         end
@@ -826,7 +862,7 @@ let index_scan txn ~table ~index ~lo ~hi =
           (fun page ->
             match Hashtbl.find_opt batch_pages page with
             | Some keys ->
-                Ssi.read_tuples_page db.ssi_mgr node ~rel ~page ~keys:(List.rev !keys)
+                db.cert.Certifier.read_tuples_page node ~rel ~page ~keys:(List.rev !keys)
             | None -> ())
           (List.rev !batch_order)
       in
@@ -864,8 +900,9 @@ let index_scan txn ~table ~index ~lo ~hi =
                           (match tracking txn with
                           | Some node ->
                               (match deleter with
-                              | Some w -> Ssi.conflict_out db.ssi_mgr node ~writer:w
+                              | Some w -> db.cert.Certifier.conflict_out node ~writer:w
                               | None -> ());
+                              db.cert.Certifier.read_from node ~creator:v.xmin;
                               batch_read pk (Heap.page_of_tid v.tid)
                           | None -> ());
                           Some (Array.copy v.row)
@@ -892,7 +929,7 @@ let seq_scan txn ~table ?(filter = fun _ -> true) () =
         refresh_stmt_snapshot txn
       end;
       (match tracking txn with
-      | Some node -> Ssi.read_relation db.ssi_mgr node ~rel
+      | Some node -> db.cert.Certifier.read_relation node ~rel
       | None -> ());
       let tuples = ref 0 in
       let rows = ref [] in
@@ -906,10 +943,11 @@ let seq_scan txn ~table ?(filter = fun _ -> true) () =
           | None -> ()
           | Some (v, deleter) ->
               (match tracking txn with
-              | Some node -> (
-                  match deleter with
-                  | Some w -> Ssi.conflict_out db.ssi_mgr node ~writer:w
-                  | None -> ())
+              | Some node ->
+                  (match deleter with
+                  | Some w -> db.cert.Certifier.conflict_out node ~writer:w
+                  | None -> ());
+                  db.cert.Certifier.read_from node ~creator:v.xmin
               | None -> ());
               if filter v.row then rows := Array.copy v.row :: !rows);
       (* Read tracking is per tuple (visibility conflict-out checks), while
@@ -936,12 +974,21 @@ let index_insert txn idx ~ikey ~pk =
   if added then begin
     txn.undo <- U_index_entry (idx, ikey, pk) :: txn.undo;
     txn.undo_len <- txn.undo_len + 1;
+    (* The new entry split the gap below its successor: the gap's locks
+       must be inherited onto the new key first, or a later insert below
+       [ikey] would consult only the new key and miss the original gap
+       readers (the successor itself may be another transaction's
+       uncommitted insert).  Unconditional — a lower-isolation inserter
+       splits gaps guarded for serializable readers too. *)
+    if idx.next_key then
+      Predlock.on_index_key_insert db.cert.Certifier.locks ~index:idx.idx_name
+        ~key:ikey ~succ:(Btree.next_key_after idx.tree ikey);
     (match tracking txn with
     | Some node ->
         if idx.next_key then
-          Ssi.index_insert_check_nextkey db.ssi_mgr node ~index:idx.idx_name ~key:ikey
+          db.cert.Certifier.index_insert_check_nextkey node ~index:idx.idx_name ~key:ikey
             ~succ:(Btree.next_key_after idx.tree ikey)
-        else Ssi.index_insert_check db.ssi_mgr node ~index:idx.idx_name ~page
+        else db.cert.Certifier.index_insert_check node ~index:idx.idx_name ~page
     | None -> ());
     if is_2pl txn then
       Lockmgr.acquire db.locks ~owner:txn.txn_xid (Lockmgr.Index_page (idx.idx_name, page))
@@ -974,7 +1021,15 @@ let insert txn ~table row =
             v.xmax <> Heap.invalid_xid
             && (v.xmax = txn.txn_xid || Clog.is_committed db.clog v.xmax)
           in
-          if not deleted then raise (Duplicate_key { table; key }));
+          if not deleted then raise (Duplicate_key { table; key });
+          (* Re-inserting over a committed-dead head is a w:w dependency on
+             the dead version's creator and deleter. *)
+          (match tracking txn with
+          | Some node ->
+              db.cert.Certifier.read_from node ~creator:v.xmin;
+              if v.xmax <> Heap.invalid_xid then
+                db.cert.Certifier.read_from node ~creator:v.xmax
+          | None -> ()));
       let old_page =
         match Heap.head tbl.heap key with
         | Some h -> Some (Heap.page_of_tid h.Heap.tid)
@@ -985,10 +1040,10 @@ let insert txn ~table row =
       txn.undo_len <- txn.undo_len + 1;
       (match tracking txn with
       | Some node ->
-          Ssi.write_check db.ssi_mgr node ~rel:table ~key ~page:(Heap.page_of_tid tuple.tid);
+          db.cert.Certifier.write_check node ~rel:table ~key ~page:(Heap.page_of_tid tuple.tid);
           (match old_page with
           | Some p when p <> Heap.page_of_tid tuple.tid ->
-              Ssi.write_check db.ssi_mgr node ~rel:table ~key ~page:p
+              db.cert.Certifier.write_check node ~rel:table ~key ~page:p
           | Some _ | None -> ())
       | None -> ());
       List.iter
@@ -1064,8 +1119,8 @@ let rec locate_for_write txn tbl key =
   | Some v ->
       (match tracking txn with
       | Some node ->
-          Ssi.write_check db.ssi_mgr node ~rel ~key ~page:(Heap.page_of_tid v.Heap.tid);
-          Ssi.forget_own_tuple_lock db.ssi_mgr node ~rel ~key
+          db.cert.Certifier.write_check node ~rel ~key ~page:(Heap.page_of_tid v.Heap.tid);
+          db.cert.Certifier.forget_own_tuple_lock node ~rel ~key
             ~in_subtransaction:(txn.subdepth > 0)
       | None -> ())
   | None -> ());
@@ -1252,7 +1307,7 @@ let wal_append_commit db txn cseq ~gid =
 let siread_targets db xid =
   List.filter_map
     (fun (target, holders, _) -> if List.mem xid holders then Some target else None)
-    (Predlock.dump (Ssi.locks db.ssi_mgr))
+    (Predlock.dump db.cert.Certifier.locks)
 
 let prepared_image_of db txn gid =
   {
@@ -1267,13 +1322,13 @@ let abort txn =
   if not txn.finished then begin
     let db = txn.db in
     trace db "x%d abort" txn.txn_xid;
-    List.iter apply_undo_entry txn.undo;
+    List.iter (apply_undo_entry db) txn.undo;
     txn.undo <- [];
     txn.undo_len <- 0;
     txn.wal <- [];
     txn.wal_len <- 0;
     Clog.abort db.clog txn.txn_xid;
-    (match txn.sxact with Some node -> Ssi.aborted db.ssi_mgr node | None -> ());
+    (match txn.sxact with Some node -> db.cert.Certifier.aborted node | None -> ());
     (match txn.prepared_gid with
     | Some gid -> Hashtbl.remove db.prepared_by_gid gid
     | None -> ());
@@ -1311,14 +1366,16 @@ let commit txn =
         primary refuses new commits here, so clients see a retryable
         failure rather than a write the cluster will never accept. *)
      (match db.commit_gate with Some gate -> gate () | None -> ());
-     match txn.sxact with Some node -> Ssi.precommit db.ssi_mgr node | None -> ()
+     match txn.sxact with Some node -> db.cert.Certifier.precommit node | None -> ()
    with (Serialization_failure _ | Transient_fault _) as e ->
      close_span ~ok:false ();
      abort txn;
      raise e);
   let cseq = Clog.commit db.clog txn.txn_xid in
   trace db "x%d commit cseq=%d" txn.txn_xid cseq;
-  (match txn.sxact with Some node -> Ssi.committed db.ssi_mgr node ~commit_cseq:cseq | None -> ());
+  (match txn.sxact with
+  | Some node -> db.cert.Certifier.committed node ~commit_cseq:cseq
+  | None -> ());
   (match txn.span with Some s -> Obs.Span.add s "outcome" (Obs.S "committed") | None -> ());
   finish_txn txn;
   Obs.incr db.metrics.m_commits;
@@ -1349,7 +1406,7 @@ let prepare txn ~gid =
   (try
      ensure_running txn;
      fault_point db ~op:"prepare";
-     match txn.sxact with Some node -> Ssi.prepare db.ssi_mgr node | None -> ()
+     match txn.sxact with Some node -> db.cert.Certifier.prepare node | None -> ()
    with (Serialization_failure _ | Transient_fault _) as e ->
      abort txn;
      raise e);
@@ -1383,7 +1440,9 @@ let commit_prepared db ~gid =
     | None -> None
   in
   let cseq = Clog.commit db.clog txn.txn_xid in
-  (match txn.sxact with Some node -> Ssi.committed db.ssi_mgr node ~commit_cseq:cseq | None -> ());
+  (match txn.sxact with
+  | Some node -> db.cert.Certifier.committed node ~commit_cseq:cseq
+  | None -> ());
   (match txn.span with Some s -> Obs.Span.add s "outcome" (Obs.S "committed") | None -> ());
   finish_txn txn;
   Obs.incr db.metrics.m_commits;
@@ -1431,7 +1490,7 @@ let simulate_connection_loss db =
   in
   List.iter
     (fun txn ->
-      List.iter apply_undo_entry txn.undo;
+      List.iter (apply_undo_entry db) txn.undo;
       txn.undo <- [];
       txn.undo_len <- 0;
       txn.wal <- [];
@@ -1451,7 +1510,7 @@ let simulate_connection_loss db =
       | None -> ());
       Waitq.wake_all txn.commit_wq)
     in_flight;
-  Ssi.recover db.ssi_mgr;
+  db.cert.Certifier.recover ();
   Obs.incr ~by:(List.length in_flight) db.metrics.m_aborts;
   Obs.trace db.obs "crash" ~fields:[ ("in_flight", Obs.I (List.length in_flight)) ]
 
@@ -1549,7 +1608,16 @@ let replay_op db ~xid ~track op =
     List.iter
       (fun idx ->
         let _, added = Btree.insert idx.tree ~key:row.(idx.col) ~pk:key in
-        if added then push (U_index_entry (idx, row.(idx.col), key)))
+        if added then begin
+          push (U_index_entry (idx, row.(idx.col), key));
+          (* Replay order can interleave with reinstated prepared
+             transactions' SIREAD locks: keep gap coverage intact here
+             exactly as on the live insert path. *)
+          if idx.next_key then
+            Predlock.on_index_key_insert db.cert.Certifier.locks
+              ~index:idx.idx_name ~key:row.(idx.col)
+              ~succ:(Btree.next_key_after idx.tree row.(idx.col))
+        end)
       (all_indexes tbl)
   in
   match op with
@@ -1578,10 +1646,10 @@ let reinstate_prepared db (img : Wal.prepared_image) =
   let undo = ref [] in
   List.iter (replay_op db ~xid ~track:(Some undo)) img.Wal.p_ops;
   let node =
-    Ssi.register db.ssi_mgr ~xid ~snap_cseq:img.Wal.p_snap_cseq ~read_only:false
+    db.cert.Certifier.register ~xid ~snap_cseq:img.Wal.p_snap_cseq ~read_only:false
       ~deferrable:false
   in
-  let locks = Ssi.locks db.ssi_mgr in
+  let locks = db.cert.Certifier.locks in
   List.iter
     (fun (target : Predlock.target) ->
       match target with
@@ -1606,7 +1674,7 @@ let reinstate_prepared db (img : Wal.prepared_image) =
       | Predlock.Index_inf index -> Predlock.lock_index_inf locks ~owner:xid ~index
       | Predlock.Index_rel index -> Predlock.lock_index_rel locks ~owner:xid ~index)
     img.Wal.p_sireads;
-  Ssi.restore_prepared db.ssi_mgr node;
+  db.cert.Certifier.restore_prepared node;
   let snapshot = { Snapshot.owner = xid; horizon = img.Wal.p_snap_cseq } in
   let txn =
     make_txn db ~iso:Serializable ~ro:false ~xid ~snapshot ~sxact:(Some node) ~span:None
@@ -1703,7 +1771,7 @@ let recover ?scheduler ?config ?obs w =
             Hashtbl.remove db.prepared_by_gid gid;
             Clog.install db.clog c_xid (Clog.Committed c_cseq);
             (match txn.sxact with
-            | Some node -> Ssi.committed db.ssi_mgr node ~commit_cseq:c_cseq
+            | Some node -> db.cert.Certifier.committed node ~commit_cseq:c_cseq
             | None -> ());
             finish_txn txn
         | Wal.Commit { c_xid; c_cseq; c_ops; _ } ->

@@ -84,6 +84,11 @@ type commit_record = {
 
 type config = {
   ssi : Ssi_core.Ssi.config;
+  certifier : Ssi_core.Certifier.kind;
+      (** Which serializability certifier the engine runs: the paper's SSI
+          (default), the Serial Safety Net, or its extended variant.  SSI
+          is the only certifier with safe snapshots, so [BEGIN DEFERRABLE]
+          is rejected under the others. *)
   tuples_per_page : int;
   btree_order : int;
   next_key_gaps : bool;
@@ -371,6 +376,14 @@ val obs : t -> Ssi_obs.Obs.t
     records. *)
 
 val ssi : t -> Ssi_core.Ssi.t
+(** The underlying SSI manager.  Raises [Invalid_argument] when the engine
+    was configured with a non-SSI certifier; certifier-agnostic callers
+    should go through {!certifier}. *)
+
+val certifier : t -> Ssi_core.Certifier.t
+(** The engine's certifier vtable — valid for every {!config.certifier}. *)
+
+val certifier_kind : t -> Ssi_core.Certifier.kind
 val active_transactions : t -> int
 val table_names : t -> string list
 

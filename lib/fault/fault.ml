@@ -152,13 +152,13 @@ let execute ?(observer = fun _ _ -> ()) target plan ~log =
                   set_fault_rate inj 0.;
                   logf "fault-burst end"))
       | Memory_pressure { cap; duration } ->
-          let ssi = E.ssi target.engine in
-          let before = Ssi.max_committed_sxacts ssi in
+          let cert = E.certifier target.engine in
+          let before = cert.Ssi_core.Certifier.max_committed_sxacts () in
           logf "memory-pressure begin cap=%d (was %d)" cap before;
-          Ssi.set_max_committed_sxacts ssi cap;
+          cert.Ssi_core.Certifier.set_max_committed_sxacts cap;
           Sim.spawn (fun () ->
               Sim.delay duration;
-              Ssi.set_max_committed_sxacts ssi before;
+              cert.Ssi_core.Certifier.set_max_committed_sxacts before;
               logf "memory-pressure end")
       | Lag_spike { lag; duration } -> (
           match target.replica with

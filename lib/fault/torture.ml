@@ -16,7 +16,7 @@ let vi i = Value.Int i
 let sim_costs =
   { E.zero_costs with E.cpu_per_op = 80e-6; cpu_per_tuple = 4e-6; io_commit = 40e-6 }
 
-let config = { E.default_config with E.costs = sim_costs }
+let config ~certifier = { E.default_config with E.costs = sim_costs; certifier }
 let flush_interval = 2e-4
 let workers = 4
 let txns_per_worker = 12
@@ -94,7 +94,8 @@ let scan_rows eng =
        (fun row -> (Value.as_int row.(0), Value.as_int row.(1)))
        (E.with_txn ~isolation:E.Repeatable_read eng (fun t -> E.seq_scan t ~table ())))
 
-let run_one ?wal_out ~seed ~kill_point ~with_damage () =
+let run_one ?wal_out ?(certifier = Ssi_core.Certifier.SSI) ~seed ~kill_point ~with_damage () =
+  let config = config ~certifier in
   let dmg_rng = Rng.make (Hashtbl.hash (seed, kill_point, "torture-damage")) in
   let wal = Wal.create ~flush_interval () in
   let crashed = ref false in
@@ -387,12 +388,12 @@ let run_one ?wal_out ~seed ~kill_point ~with_damage () =
     o_final = !final;
   }
 
-let sweep ?wal_out ?(max_kills = 64) ?(kill_every = 1) ~seed ~with_damage () =
+let sweep ?wal_out ?certifier ?(max_kills = 64) ?(kill_every = 1) ~seed ~with_damage () =
   let rec go n kill acc =
     if n > max_kills then List.rev acc
     else begin
       let wal_out = if n = 1 then wal_out else None in
-      let o = run_one ?wal_out ~seed ~kill_point:kill ~with_damage () in
+      let o = run_one ?wal_out ?certifier ~seed ~kill_point:kill ~with_damage () in
       if o.o_crashed then go (n + 1) (kill + kill_every) (o :: acc) else List.rev (o :: acc)
     end
   in

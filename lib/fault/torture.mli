@@ -61,16 +61,20 @@ val pp_outcome : outcome -> string
 (** One summary line per run, for logs and the CLI. *)
 
 val run_one :
-  ?wal_out:string -> seed:int -> kill_point:int -> with_damage:bool -> unit -> outcome
+  ?wal_out:string -> ?certifier:Ssi_core.Certifier.kind ->
+  seed:int -> kill_point:int -> with_damage:bool -> unit -> outcome
 (** One crash/recover cycle.  [kill_point] counts engine fault points
     (data operations, commits, prepares) after setup; if the workload
     finishes first, [o_crashed] is [false] and the run still recovers from
     the intact log.  [with_damage] draws a seeded torn write, short write
     or bit flip for the flush in flight.  [wal_out] saves the (crashed,
-    truncated) device image to a file for [pg_ssi recover]. *)
+    truncated) device image to a file for [pg_ssi recover].  [certifier]
+    (default SSI) selects the serializability certifier for both lives —
+    first-life workload and the recovered engine. *)
 
 val sweep :
-  ?wal_out:string -> ?max_kills:int -> ?kill_every:int ->
+  ?wal_out:string -> ?certifier:Ssi_core.Certifier.kind ->
+  ?max_kills:int -> ?kill_every:int ->
   seed:int -> with_damage:bool -> unit -> outcome list
 (** Crash at fault point [kill_every], [2*kill_every], ... (one {!run_one}
     each, at most [max_kills] runs, default 64) until a run completes

@@ -24,6 +24,16 @@ type edge = {
   summarized : bool;
 }
 
+type exclusion = {
+  x_seq : int;
+  x_ts : float;
+  x_victim : int;
+  x_reason : string;
+  x_pstamp : int;
+  x_sstamp : int;
+  x_peer : int;
+}
+
 (* Every retained event, from the trace ring and from the per-span
    attachment lists, deduplicated by seq (most events live in both). *)
 let all_events obs =
@@ -68,7 +78,10 @@ let structure_of_event (ev : Obs.event) =
       }
 
 let edge_of_event (ev : Obs.event) =
-  if ev.Obs.name <> "ssi.rw_edge" then None
+  if
+    ev.Obs.name <> "ssi.rw_edge" && ev.Obs.name <> "ssn.rw_edge"
+    && ev.Obs.name <> "essn.rw_edge"
+  then None
   else
     Some
       {
@@ -80,22 +93,44 @@ let edge_of_event (ev : Obs.event) =
         summarized = bool_field ev "summarized";
       }
 
+(* The watermark certifiers (SSN/ESSN) record one [<p>.exclusion] event
+   per kill decision: the victim's closed window and the transaction whose
+   stamp closed it. *)
+let exclusion_of_event (ev : Obs.event) =
+  if ev.Obs.name <> "ssn.exclusion" && ev.Obs.name <> "essn.exclusion" then None
+  else
+    Some
+      {
+        x_seq = ev.Obs.seq;
+        x_ts = ev.Obs.ts;
+        x_victim = int_field ev "victim";
+        x_reason = str_field ev "reason";
+        x_pstamp = int_field ev "pstamp";
+        x_sstamp = int_field ev "sstamp";
+        x_peer = int_field ev "peer";
+      }
+
 let structures obs = List.filter_map structure_of_event (all_events obs)
 let edges obs = List.filter_map edge_of_event (all_events obs)
+let exclusions obs = List.filter_map exclusion_of_event (all_events obs)
 
-(* Transactions the SSI manager actually killed: dooms of a concurrent
+(* Transactions the certifier actually killed: dooms of a concurrent
    victim and serialization failures raised at the actor, as recorded by
-   [ssi.doom] / [ssi.fail] events. *)
+   [<p>.doom] / [<p>.fail] events under any certifier namespace. *)
 let doomed obs =
   List.filter_map
     (fun (ev : Obs.event) ->
       match ev.Obs.name with
-      | "ssi.doom" | "ssi.fail" -> Some (int_field ev "xid", str_field ev "reason")
+      | "ssi.doom" | "ssi.fail" | "ssn.doom" | "ssn.fail" | "essn.doom" | "essn.fail"
+        ->
+          Some (int_field ev "xid", str_field ev "reason")
       | _ -> None)
     (all_events obs)
 
 let victims obs =
-  List.sort_uniq compare (List.map (fun s -> s.victim) (structures obs))
+  List.sort_uniq compare
+    (List.map (fun s -> s.victim) (structures obs)
+    @ List.map (fun x -> x.x_victim) (exclusions obs))
 
 let for_victim obs xid = List.filter (fun s -> s.victim = xid) (structures obs)
 
@@ -114,6 +149,12 @@ let node xid cseq ro =
   | [] -> id
   | ns -> Printf.sprintf "%s (%s)" id (String.concat ", " ns)
 
+let render_exclusion x =
+  let stamp v = if v < 0 then "inf" else string_of_int v in
+  let peer = if x.x_peer >= 0 then Printf.sprintf " (closed by x%d)" x.x_peer else "" in
+  Printf.sprintf "exclusion window closed: pstamp=%s >= sstamp=%s%s\n    reason: %s"
+    (stamp x.x_pstamp) (stamp x.x_sstamp) peer x.x_reason
+
 let render_structure s =
   let role =
     if s.victim = s.t2 then "pivot T2"
@@ -130,10 +171,15 @@ let render_structure s =
 let render obs =
   let buf = Buffer.create 1024 in
   let structures = structures obs in
+  let exclusions = exclusions obs in
   let doomed = doomed obs in
   Buffer.add_string buf
-    (Printf.sprintf "%d SSI victim(s), %d dangerous structure(s) retained\n"
-       (List.length doomed) (List.length structures));
+    (if exclusions = [] then
+       Printf.sprintf "%d SSI victim(s), %d dangerous structure(s) retained\n"
+         (List.length doomed) (List.length structures)
+     else
+       Printf.sprintf "%d certifier victim(s), %d exclusion window(s) retained\n"
+         (List.length doomed) (List.length exclusions));
   let trace_dropped = Obs.get_counter obs "obs.trace.dropped" in
   let span_dropped = Obs.get_counter obs "obs.spans.dropped" in
   if trace_dropped > 0 || span_dropped > 0 then
@@ -147,20 +193,28 @@ let render obs =
       Hashtbl.replace by_victim s.victim
         (s :: (match Hashtbl.find_opt by_victim s.victim with Some l -> l | None -> [])))
     structures;
+  let excl_by_victim = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      Hashtbl.replace excl_by_victim x.x_victim
+        (x :: (match Hashtbl.find_opt excl_by_victim x.x_victim with Some l -> l | None -> [])))
+    exclusions;
   let seen = Hashtbl.create 16 in
   List.iter
     (fun (xid, reason) ->
       if not (Hashtbl.mem seen xid) then begin
         Hashtbl.add seen xid ();
         Buffer.add_string buf (Printf.sprintf "\nvictim x%d: %s\n" xid reason);
-        match Hashtbl.find_opt by_victim xid with
-        | None ->
-            Buffer.add_string buf
-              "  (no dangerous structure retained for this victim)\n"
-        | Some ss ->
+        match (Hashtbl.find_opt by_victim xid, Hashtbl.find_opt excl_by_victim xid) with
+        | None, None ->
+            Buffer.add_string buf "  (no conflict evidence retained for this victim)\n"
+        | ss, xs ->
             List.iter
               (fun s -> Buffer.add_string buf (Printf.sprintf "  %s\n" (render_structure s)))
-              (List.rev ss)
+              (List.rev (Option.value ss ~default:[]));
+            List.iter
+              (fun x -> Buffer.add_string buf (Printf.sprintf "  %s\n" (render_exclusion x)))
+              (List.rev (Option.value xs ~default:[]))
       end)
     doomed;
   Buffer.contents buf

@@ -33,7 +33,9 @@ type structure = {
   t3_cseq : int;
 }
 
-(** One flagged rw-antidependency ([ssi.rw_edge]). *)
+(** One flagged rw-antidependency ([<certifier>.rw_edge]).  The [_cseq]
+    fields are [-1] for the watermark certifiers, which record stamps on
+    the event instead. *)
 type edge = {
   e_seq : int;
   reader : int;
@@ -43,19 +45,36 @@ type edge = {
   summarized : bool;  (** one endpoint only known via the old-sxact table *)
 }
 
+(** One SSN/ESSN kill decision ([ssn.exclusion] / [essn.exclusion]): the
+    victim's exclusion window at the moment it closed. *)
+type exclusion = {
+  x_seq : int;
+  x_ts : float;
+  x_victim : int;
+  x_reason : string;
+  x_pstamp : int;  (** high watermark (largest committed-predecessor stamp) *)
+  x_sstamp : int;  (** low watermark; [-1] means infinity (never lowered) *)
+  x_peer : int;  (** xid whose stamp closed the window; [-1] if unknown *)
+}
+
 val structures : Obs.t -> structure list
 (** Every retained dangerous structure, in emission order. *)
 
 val edges : Obs.t -> edge list
 (** Every retained rw-antidependency edge, in emission order. *)
 
+val exclusions : Obs.t -> exclusion list
+(** Every retained SSN/ESSN exclusion-window violation, in emission
+    order. *)
+
 val doomed : Obs.t -> (int * string) list
-(** [(xid, reason)] for every SSI doom/fail decision retained, in
-    emission order.  One transaction can appear more than once (doomed,
-    then failing at its own commit). *)
+(** [(xid, reason)] for every certifier doom/fail decision retained
+    (any namespace), in emission order.  One transaction can appear more
+    than once (doomed, then failing at its own commit). *)
 
 val victims : Obs.t -> int list
-(** Distinct xids with at least one retained structure, ascending. *)
+(** Distinct xids with at least one retained structure or exclusion
+    window, ascending. *)
 
 val for_victim : Obs.t -> int -> structure list
 val complete : structure -> bool
@@ -65,6 +84,10 @@ val complete : structure -> bool
 val render_structure : structure -> string
 (** One structure as [T1 x.. --rw--> T2 x.. --rw--> T3 x..] plus rule
     and victim-selection reason. *)
+
+val render_exclusion : exclusion -> string
+(** One closed exclusion window as [pstamp >= sstamp] plus the peer that
+    closed it and the reason. *)
 
 val render : Obs.t -> string
 (** The full report: every victim with its reconstructed structures,

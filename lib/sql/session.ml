@@ -465,7 +465,7 @@ let exec t stmt =
       E.vacuum t.engine;
       Message "VACUUM"
   | Show_locks ->
-      let locks = Ssi_core.Ssi.locks (E.ssi t.engine) in
+      let locks = (E.certifier t.engine).Ssi_core.Certifier.locks in
       let rows =
         List.map
           (fun (target, holders, old_c) ->
@@ -488,7 +488,7 @@ let exec t stmt =
               Value.Str (String.concat "," (List.map string_of_int i.info_in));
               Value.Str (String.concat "," (List.map string_of_int i.info_out));
             |])
-          (Ssi_core.Ssi.dump_graph (E.ssi t.engine))
+          ((E.certifier t.engine).Ssi_core.Certifier.dump_graph ())
       in
       Rows { cols = [ "xid"; "status"; "doomed"; "conflicts_in"; "conflicts_out" ]; rows }
   | Show_tables ->

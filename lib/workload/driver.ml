@@ -28,6 +28,7 @@ type spec = {
 
 type bench = {
   mode : mode;
+  certifier : Ssi_core.Certifier.kind;
   workers : int;
   duration : float;
   warmup : float;
@@ -66,6 +67,7 @@ let disk_bound_costs =
 let default_bench =
   {
     mode = SSI;
+    certifier = Ssi_core.Certifier.SSI;
     workers = 4;
     duration = 5.0;
     warmup = 1.0;
@@ -129,12 +131,17 @@ type window = {
   w_abort_reasons : (string * int) list;
 }
 
-let close_window obs base =
+(* Metric names are namespaced by the certifier ([ssi.*], [ssn.*],
+   [essn.*]); the window reads whichever namespace the bench ran under.
+   [<p>.safe_snapshots] only exists under SSI — [delta_counter] reports 0
+   for the others. *)
+let close_window ~certifier obs base =
   let d name = Obs.delta_counter obs base name in
+  let p = Ssi_core.Certifier.prefix certifier in
   let abort_reasons =
     List.filter_map
       (fun (name, _) ->
-        let prefix = "ssi.victims." in
+        let prefix = p ^ ".victims." in
         if String.length name > String.length prefix
            && String.sub name 0 (String.length prefix) = prefix
         then
@@ -152,9 +159,9 @@ let close_window obs base =
     w_retries = d "engine.retries";
     w_giveups = d "engine.giveups";
     w_injected = d "engine.faults_injected";
-    w_ssi_summarized = d "ssi.summarized";
-    w_ssi_safe = d "ssi.safe_snapshots";
-    w_ssi_conflicts = d "ssi.conflicts";
+    w_ssi_summarized = d (p ^ ".summarized");
+    w_ssi_safe = d (p ^ ".safe_snapshots");
+    w_ssi_conflicts = d (p ^ ".conflicts");
     w_latencies = Obs.delta_values obs base "driver.txn_latency";
     w_abort_reasons = abort_reasons;
   }
@@ -185,6 +192,7 @@ let run ~setup ~specs bench =
         {
           E.default_config with
           E.ssi = ssi_cfg;
+          certifier = bench.certifier;
           costs = bench.costs;
           next_key_gaps = bench.next_key_gaps;
           charge_cpu = Some charge_cpu;
@@ -255,7 +263,7 @@ let run ~setup ~specs bench =
       Sim.spawn (fun () ->
           Sim.delay (bench.warmup +. bench.duration);
           let base = match !base with Some s -> s | None -> Obs.snap obs in
-          window := Some (close_window obs base);
+          window := Some (close_window ~certifier:bench.certifier obs base);
           cpu_busy := Sim.busy_time cpu))
   |> fun final_time ->
   let w =

@@ -28,6 +28,11 @@ type spec = {
 
 type bench = {
   mode : mode;
+  certifier : Ssi_core.Certifier.kind;
+      (** Which serializability certifier serializable modes run under
+          (SSI, SSN or ESSN); ignored by SI and S2PL.  The window metrics
+          ([ssi_summarized], [ssi_conflicts], [abort_reasons]) are read
+          from the matching [<certifier>.*] namespace. *)
   workers : int;  (** concurrent client sessions *)
   duration : float;  (** measured simulated seconds *)
   warmup : float;  (** simulated seconds discarded before measuring *)

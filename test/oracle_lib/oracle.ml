@@ -45,6 +45,7 @@ type cfg = {
   seed : int;
   max_committed_sxacts : int;  (** stress summarization (§6.2) when small *)
   next_key_gaps : bool;  (** next-key index-gap locking (§5.2.1 future work) *)
+  certifier : Ssi_core.Certifier.kind;  (** serializability certifier under test *)
 }
 
 let default_cfg =
@@ -59,6 +60,7 @@ let default_cfg =
     seed = 1;
     max_committed_sxacts = 64;
     next_key_gaps = false;
+    certifier = Ssi_core.Certifier.SSI;
   }
 
 let contended_cfg =
@@ -137,6 +139,7 @@ let run_history ?tracer ~isolation cfg =
       E.default_config with
       E.costs = sim_costs;
       next_key_gaps = cfg.next_key_gaps;
+      certifier = cfg.certifier;
       ssi =
         {
           Ssi_core.Ssi.default_config with

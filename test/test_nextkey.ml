@@ -105,6 +105,57 @@ let test_gap_between_entries () =
   in
   Alcotest.(check bool) "interior gap protected" true failed
 
+(* Gap-lock inheritance regressions (found by the DSG oracle, nextkey
+   config, seed 804): the gap a reader locked can be split by another
+   transaction's physical insert — whose entry then shadows the original
+   successor from a later insert's next-key check — or merged back by
+   that insert's rollback.  Both structural changes must carry the
+   reader's coverage along. *)
+
+let test_gap_split_shadowed_successor () =
+  (* Reader scans the empty range (20,30), locking its successor key 30.
+     An uncommitted READ COMMITTED insert of 28 becomes the new
+     successor; the writer's insert of 25 then computes succ = 28 and
+     would miss the reader entirely unless 28 inherited the gap lock at
+     its own insert. *)
+  let db = fresh ~next_key:true () in
+  let reader = E.begin_txn db in
+  ignore (E.index_scan reader ~table:"kv" ~index:"kv_pkey" ~lo:(vi 21) ~hi:(vi 29));
+  let interferer = E.begin_txn ~isolation:E.Read_committed db in
+  E.insert interferer ~table:"kv" [| vi 28; vi 0 |];
+  let w = E.begin_txn db in
+  E.insert w ~table:"kv" [| vi 25; vi 0 |];
+  ignore (E.read w ~table:"kv" ~key:(vi 50));
+  let t3 = E.begin_txn db in
+  bump t3 50;
+  E.commit t3;
+  let failed = (try E.commit w; false with E.Serialization_failure _ -> true) in
+  E.abort reader;
+  E.abort interferer;
+  Alcotest.(check bool) "phantom behind shadowing successor detected" true failed
+
+let test_gap_merge_on_rollback () =
+  (* Reader scans [21..27] while an uncommitted 28 is the physical
+     successor: its only gap lock below 30 lands on 28.  The interferer
+     then aborts, removing 28 and reuniting the gap (20,30); the
+     writer's insert of 25 computes succ = 30 and would miss the reader
+     unless the removal copied the lock from 28 up to 30. *)
+  let db = fresh ~next_key:true () in
+  let interferer = E.begin_txn ~isolation:E.Read_committed db in
+  E.insert interferer ~table:"kv" [| vi 28; vi 0 |];
+  let reader = E.begin_txn db in
+  ignore (E.index_scan reader ~table:"kv" ~index:"kv_pkey" ~lo:(vi 21) ~hi:(vi 27));
+  E.abort interferer;
+  let w = E.begin_txn db in
+  E.insert w ~table:"kv" [| vi 25; vi 0 |];
+  ignore (E.read w ~table:"kv" ~key:(vi 50));
+  let t3 = E.begin_txn db in
+  bump t3 50;
+  E.commit t3;
+  let failed = (try E.commit w; false with E.Serialization_failure _ -> true) in
+  E.abort reader;
+  Alcotest.(check bool) "phantom after gap merge detected" true failed
+
 let test_nextkey_promotion () =
   (* Accumulating many key locks on one index promotes to a whole-index
      lock, like page locks do. *)
@@ -181,6 +232,10 @@ let () =
           Alcotest.test_case "absent point read" `Quick test_absent_point_read_protected;
           Alcotest.test_case "top gap" `Quick test_gap_above_highest;
           Alcotest.test_case "interior gap" `Quick test_gap_between_entries;
+          Alcotest.test_case "gap split by uncommitted insert" `Quick
+            test_gap_split_shadowed_successor;
+          Alcotest.test_case "gap merged by rollback" `Quick
+            test_gap_merge_on_rollback;
         ] );
       ( "precision",
         [

@@ -176,13 +176,15 @@ let oracle_cfgs =
     ("nextkey", Oracle.nextkey_cfg);
   |]
 
-(* Under SSI every random history must (a) replay identically from its
-   seed — the intrusive edge lists and caches may not perturb victim
-   selection or wake order — and (b) pass the multiversion
-   serialization-graph check. *)
+(* Under SSI — now running through the CERTIFIER interface rather than
+   calling [Ssi] directly — every random history must (a) replay
+   identically from its seed: the vtable indirection, the intrusive edge
+   lists and the caches may not perturb victim selection or wake order —
+   and (b) pass the multiversion serialization-graph check.  ≥30 seeded
+   workloads certify the interface port was behavior-preserving. *)
 let prop_ssi_replay_and_dsg =
   QCheck.Test.make ~name:"SSI histories replay byte-identically and stay serializable"
-    ~count:24
+    ~count:32
     QCheck.(
       make
         ~print:(fun (seed, ci) ->
