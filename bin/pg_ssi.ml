@@ -323,10 +323,44 @@ let print_promotion (p : Replica.promotion) =
     "  failover           promoted at cseq %d: %d rows (safe snapshot), %d commits discarded@."
     p.Replica.promote_cseq (row_count p.Replica.engine) p.Replica.discarded_commits
 
+(* Read-fleet mode: route a read-heavy workload through the replica read
+   router under a seeded fault plan, check every routed read against the
+   commit order, and replay the run to prove determinism. *)
+let run_readfleet seed fleet read_mix workers failover partitions net_chaos =
+  let module RF = Ssi_harness.Readfleet in
+  let cfg =
+    {
+      RF.default_cfg with
+      RF.seed;
+      replicas = fleet;
+      read_mix;
+      workers;
+      failover;
+      partitions = (if partitions = 0 then RF.default_cfg.RF.partitions else partitions);
+      net_chaos = (if net_chaos = 0 then RF.default_cfg.RF.net_chaos else net_chaos);
+    }
+  in
+  Format.printf "read-fleet chaos seed=%d replicas=%d read-mix=%.2f workers=%d failover=%b@."
+    seed fleet read_mix workers cfg.RF.failover;
+  let o = RF.run cfg in
+  Format.printf "%a" RF.pp_outcome o;
+  let o2 = RF.run cfg in
+  let identical = RF.fingerprint o = RF.fingerprint o2 in
+  Format.printf "replay: %s@."
+    (if identical then "byte-identical" else "DIVERGED from the first run");
+  let ok =
+    o.RF.violation = None && o.RF.read_giveups = 0 && o.RF.write_giveups = 0
+    && o.RF.session_violations = 0 && identical
+  in
+  if ok then 0 else 1
+
 let run_chaos seed cert_str duration workers failover replicas quorum partitions net_chaos
-    explain trace_out trace_capacity kill_points kill_every torn_writes wal_out =
+    explain trace_out trace_capacity kill_points kill_every torn_writes wal_out read_fleet
+    read_mix =
   let certifier = certifier_of_string cert_str in
   if kill_points > 0 then run_torture seed certifier kill_points kill_every torn_writes wal_out
+  else if read_fleet > 0 then
+    run_readfleet seed read_fleet read_mix workers failover partitions net_chaos
   else begin
   let rows = 100 in
   let plan = F.gen_plan ~seed ~horizon:duration ~failover ~partitions ~net_chaos () in
@@ -353,7 +387,7 @@ let run_chaos seed cert_str duration workers failover replicas quorum partitions
          hook; network events in the plan are logged as skipped. *)
       let r = Replica.attach db in
       replica := Some r;
-      let target = { F.engine = db; injector = Some injector; replica = Some r; net = None } in
+      let target = { F.engine = db; injector = Some injector; replica = Some r; fleet = []; net = None } in
       let observer phase (ev : F.event) =
         match (phase, ev.F.kind) with
         | `After, F.Failover -> promoted := Some (Replica.promote r ~primary:db `Latest_safe)
@@ -375,7 +409,7 @@ let run_chaos seed cert_str duration workers failover replicas quorum partitions
             Stream.subscribe n ~node:name ~primary_node:"p" ~epoch:1 core)
       in
       streamed := subs;
-      let target = { F.engine = db; injector = Some injector; replica = None; net = Some n } in
+      let target = { F.engine = db; injector = Some injector; replica = None; fleet = []; net = Some n } in
       let observer phase (ev : F.event) =
         match (phase, ev.F.kind) with
         | `After, F.Failover -> (
@@ -699,17 +733,34 @@ let chaos_cmd =
                "With $(b,--kill-points): save the first run's crashed log image to $(docv) \
                 for $(b,pg_ssi recover)")
   in
+  let read_fleet_arg =
+    Arg.(value & opt int 0
+         & info [ "read-fleet" ]
+             ~doc:
+               "Read-fleet chaos: route a read-heavy workload through the replica read \
+                router over $(docv) streaming replicas under partitions, lag spikes and \
+                network chaos (one of each unless overridden), check every routed read \
+                against the commit order, and verify byte-identical replay (0 = off)"
+             ~docv:"N")
+  in
+  let read_mix_arg =
+    Arg.(value & opt float 0.9
+         & info [ "read-mix" ]
+             ~doc:"With $(b,--read-fleet): fraction of client transactions that are reads"
+             ~docv:"F")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run a workload under a seeded fault plan (crashes, I/O faults, memory pressure, \
           replica lag, network partitions and chaos) and report resilience counters; with \
-          $(b,--kill-points), run the kill-point recovery torture sweep instead")
+          $(b,--kill-points), run the kill-point recovery torture sweep instead; with \
+          $(b,--read-fleet), run the oracle-checked read-fleet router scenario instead")
     Term.(
       const run_chaos $ seed_arg $ certifier_arg $ duration_arg $ workers_arg $ failover_arg
       $ replicas_arg $ quorum_arg $ partitions_arg $ net_chaos_arg $ explain_arg
       $ trace_out_arg $ trace_capacity_arg $ kill_points_arg $ kill_every_arg
-      $ torn_writes_arg $ wal_out_arg)
+      $ torn_writes_arg $ wal_out_arg $ read_fleet_arg $ read_mix_arg)
 
 let recover_cmd =
   let file_arg =

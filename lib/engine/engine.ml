@@ -412,6 +412,7 @@ let recluster db ~table =
 
 let xid txn = txn.txn_xid
 let isolation_of txn = txn.iso
+let engine_of txn = txn.db
 let is_finished txn = txn.finished
 let snapshot_cseq txn = txn.snapshot.Snapshot.horizon
 

@@ -191,9 +191,15 @@ val is_finished : txn -> bool
 
 val snapshot_cseq : txn -> int
 (** Commit-sequence horizon of the transaction's snapshot: every commit
-    with cseq <= this is visible (for snapshot-per-transaction isolation
-    levels; statement-snapshot levels report the current statement's
-    horizon).  Streaming replication stamps base snapshots with it. *)
+    with cseq {e strictly below} this is visible (for
+    snapshot-per-transaction isolation levels; statement-snapshot levels
+    report the current statement's horizon).  Streaming replication
+    stamps base snapshots with it. *)
+
+val engine_of : txn -> t
+(** The engine this transaction runs on — lets a multi-primary harness
+    (e.g. a failover test) attribute a transaction to its lineage by
+    physical engine identity. *)
 
 val snapshot_is_safe : txn -> bool
 (** For serializable read-only transactions: the §4.2 safe-snapshot

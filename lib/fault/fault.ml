@@ -127,6 +127,7 @@ type target = {
   engine : E.t;
   injector : injector option;
   replica : R.t option;
+  fleet : R.t list;
   net : Stream.net option;
 }
 
@@ -161,10 +162,18 @@ let execute ?(observer = fun _ _ -> ()) target plan ~log =
               cert.Ssi_core.Certifier.set_max_committed_sxacts before;
               logf "memory-pressure end")
       | Lag_spike { lag; duration } -> (
-          match target.replica with
+          (* With a fleet configured, the spike hits one member (picked
+             deterministically from the event's own parameters); the
+             single-replica target keeps its original meaning. *)
+          let victim =
+            match (target.fleet, target.replica) with
+            | [], r -> r
+            | fleet, _ -> Some (List.nth fleet (lag mod List.length fleet))
+          in
+          match victim with
           | None -> logf "lag-spike skipped (no replica)"
           | Some replica ->
-              logf "lag-spike begin lag=%d" lag;
+              logf "lag-spike begin lag=%d replica=%s" lag (R.name replica);
               R.set_apply_lag replica lag;
               Sim.spawn (fun () ->
                   Sim.delay duration;

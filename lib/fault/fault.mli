@@ -84,6 +84,10 @@ type target = {
   engine : E.t;
   injector : injector option;  (** required for [Fault_burst] events *)
   replica : Ssi_replication.Replica.t option;  (** required for [Lag_spike] *)
+  fleet : Ssi_replication.Replica.t list;
+      (** read-fleet members: when non-empty, each [Lag_spike] hits one
+          member (picked deterministically from the event parameters)
+          instead of [replica] *)
   net : Ssi_replication.Stream.net option;
       (** required for [Partition] and [Net_chaos] *)
 }

@@ -168,6 +168,53 @@ let render_structure s =
     (node s.t3 s.t3_cseq false)
     s.rule s.reason role
 
+(* Read-fleet routing summary: the [fleet.*] counters plus a per-replica
+   tally of the [replica.read] spans (served reads and the worst
+   staleness each replica was read at). *)
+let render_fleet obs =
+  let c n = Obs.get_counter obs n in
+  if c "fleet.route.replica" = 0 && c "fleet.route.primary" = 0 then ""
+  else begin
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "read fleet:\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  routed             %d to replicas, %d to primary (%d degraded)\n"
+         (c "fleet.route.replica") (c "fleet.route.primary") (c "fleet.degraded"));
+    Buffer.add_string buf
+      (Printf.sprintf "  health             %d fallbacks, %d markdowns, %d probes, %d readmits\n"
+         (c "fleet.fallbacks") (c "fleet.markdowns") (c "fleet.probes") (c "fleet.readmits"));
+    Buffer.add_string buf
+      (Printf.sprintf "  staleness          %d reads skipped a too-stale replica\n"
+         (c "fleet.too_stale"));
+    Buffer.add_string buf
+      (Printf.sprintf "  sessions           %d waits, %d resets; %d primary switches\n"
+         (c "fleet.session_waits") (c "fleet.session_resets") (c "fleet.primary_switches"));
+    let tally = Hashtbl.create 8 in
+    List.iter
+      (fun sp ->
+        if Obs.Span.name sp = "replica.read" then
+          match List.assoc_opt "replica" (Obs.Span.attrs sp) with
+          | Some (Obs.S r) ->
+              let stal =
+                match List.assoc_opt "staleness" (Obs.Span.attrs sp) with
+                | Some (Obs.I n) -> n
+                | _ -> 0
+              in
+              let served, worst =
+                match Hashtbl.find_opt tally r with Some t -> t | None -> (0, 0)
+              in
+              Hashtbl.replace tally r (served + 1, max worst stal)
+          | _ -> ())
+      (Obs.Spans.all obs);
+    List.iter
+      (fun (r, (served, worst)) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-18s served %d reads (worst staleness %d)\n" r served worst))
+      (List.sort compare
+         (Hashtbl.fold (fun r t acc -> (r, t) :: acc) tally []));
+    Buffer.contents buf
+  end
+
 let render obs =
   let buf = Buffer.create 1024 in
   let structures = structures obs in
@@ -217,4 +264,9 @@ let render obs =
               (List.rev (Option.value xs ~default:[]))
       end)
     doomed;
+  (match render_fleet obs with
+  | "" -> ()
+  | fleet ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf fleet);
   Buffer.contents buf

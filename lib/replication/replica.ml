@@ -21,6 +21,10 @@ type t = {
   mutable applied : int;
   mutable last_safe : int;
   mutable lag : int;
+  (* Bumped by promote/reset: open rtxns from the previous life of the
+     replica must fail retryably, not read from a store whose history is
+     being replaced underneath them. *)
+  mutable generation : int;
   pending : E.commit_record Queue.t;
   safe_arrived : Waitq.t;
   (* Gauges under replica.<name>.*: how far behind the replica is (records
@@ -107,6 +111,7 @@ let create ?obs ?(name = "replica") () =
     applied = 0;
     last_safe = 0;
     lag = 0;
+    generation = 0;
     pending = Queue.create ();
     safe_arrived = Waitq.create ();
     g_apply_lag = Obs.gauge obs (metric "apply_lag");
@@ -138,6 +143,7 @@ let reset t =
   Queue.clear t.pending;
   t.applied <- 0;
   t.last_safe <- 0;
+  t.generation <- t.generation + 1;
   Obs.set_gauge t.g_applied 0.;
   Obs.set_gauge t.g_safe 0.;
   Obs.set_gauge t.g_apply_lag 0.
@@ -150,14 +156,47 @@ let set_apply_lag t n =
   t.lag <- max 0 n;
   drain t
 
-type rtxn = { replica : t; horizon : int }
+type rtxn = { replica : t; horizon : int; gen : int }
+
+(* Internal, non-raising snapshot: promote uses it to build the new
+   primary even when the replica has never seen a safe point (an empty
+   history is then the correct promotion snapshot). *)
+let begin_read_internal t mode =
+  match mode with
+  | `Latest_safe -> { replica = t; horizon = t.last_safe; gen = t.generation }
+  | `Latest_applied -> { replica = t; horizon = t.applied; gen = t.generation }
 
 let begin_read t mode =
-  match mode with
-  | `Latest_safe -> { replica = t; horizon = t.last_safe }
-  | `Latest_applied -> { replica = t; horizon = t.applied }
+  (match mode with
+  | `Latest_safe when t.last_safe = 0 ->
+      (* No safe snapshot has arrived yet.  The horizon-0 snapshot reads
+         an empty database — silently serving it looks like data loss to
+         the client.  Fail retryably so a router can fall back. *)
+      raise
+        (E.Transient_fault
+           {
+             op = "begin_read";
+             reason =
+               Printf.sprintf "replica %s has no safe snapshot yet" t.rep_name;
+           })
+  | _ -> ());
+  begin_read_internal t mode
 
 let snapshot_cseq r = r.horizon
+
+(* An rtxn outlives its snapshot when the replica is promoted or reset:
+   the versioned store is being replaced (or already was), so reads must
+   fail retryably instead of returning rows from a divergent history. *)
+let ensure_live r ~op =
+  if r.gen <> r.replica.generation then
+    raise
+      (E.Transient_fault
+         {
+           op;
+           reason =
+             Printf.sprintf "replica %s snapshot invalidated by promote/reset"
+               r.replica.rep_name;
+         })
 
 let visible_row r versions =
   let rec find = function
@@ -167,6 +206,7 @@ let visible_row r versions =
   find !versions
 
 let read r ~table ~key =
+  ensure_live r ~op:"replica_read";
   match Hashtbl.find_opt r.replica.tables table with
   | None -> None
   | Some store -> (
@@ -178,6 +218,7 @@ let read r ~table ~key =
           | None -> None))
 
 let scan r ~table ?(filter = fun _ -> true) () =
+  ensure_live r ~op:"replica_scan";
   match Hashtbl.find_opt r.replica.tables table with
   | None -> []
   | Some store ->
@@ -227,11 +268,14 @@ let promote t ~primary mode =
       let key = (Schema.columns schema).(Schema.key_index schema) in
       E.create_table engine ~name ~cols ~key)
     tables;
-  let r = begin_read t mode in
+  let r = begin_read_internal t mode in
   E.with_txn engine (fun txn ->
       List.iter
         (fun name -> List.iter (fun row -> E.insert txn ~table:name row) (scan r ~table:name ()))
         tables);
+  (* The replica's history ends here: any rtxn still open on it must not
+     keep reading from a store whose lineage the promotion supersedes. *)
+  t.generation <- t.generation + 1;
   (* Cseqs are dense over streamed commits, so the commits a `Latest_safe
      promotion gives up are exactly those between the chosen horizon and
      the applied frontier. *)

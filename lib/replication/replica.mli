@@ -69,15 +69,27 @@ val pending_records : t -> int
 (** Records received but held back by the configured apply lag. *)
 
 type rtxn
-(** A read-only transaction on the replica: a fixed snapshot. *)
+(** A read-only transaction on the replica: a fixed snapshot.  The
+    snapshot is invalidated by {!promote} and {!reset}: reads through an
+    rtxn opened before either raise a retryable [Engine.Transient_fault]
+    instead of observing a store whose history diverged. *)
 
 val begin_read : t -> [ `Latest_safe | `Latest_applied ] -> rtxn
+(** Open a snapshot.  [`Latest_safe] before any safe-snapshot point has
+    arrived ([last_safe_cseq t = 0]) raises a retryable
+    [Engine.Transient_fault] — the horizon-0 snapshot would silently read
+    an empty database; callers (e.g. a read router) should fall back to
+    another replica or the primary instead. *)
 
 val snapshot_cseq : rtxn -> int
 
 val read : rtxn -> table:string -> key:Value.t -> Value.t array option
+(** Raises [Engine.Transient_fault] if the snapshot was invalidated by a
+    {!promote} or {!reset} since [begin_read]. *)
 
 val scan : rtxn -> table:string -> ?filter:(Value.t array -> bool) -> unit -> Value.t array list
+(** Raises [Engine.Transient_fault] if the snapshot was invalidated, as
+    {!read}. *)
 
 val wait_snapshot : ?deadline:float -> t -> after:int -> int
 (** In simulation: suspend until a safe snapshot with cseq > [after]
@@ -107,4 +119,7 @@ val promote : t -> primary:Ssi_engine.Engine.t -> [ `Latest_safe | `Latest_appli
     applied but may expose SSI anomalies.  Schemas are copied from
     [primary] (the failed engine's in-memory catalog, standing in for the
     schema shipped in a base backup); the returned engine runs in direct
-    mode with the default configuration. *)
+    mode with the default configuration.  Promotion invalidates every
+    rtxn open on this replica (their reads raise a retryable
+    [Engine.Transient_fault]); a [`Latest_safe] promotion itself never
+    raises — with no safe point yet its snapshot is the empty history. *)

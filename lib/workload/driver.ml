@@ -24,6 +24,7 @@ type spec = {
   weight : float;
   read_only : bool;
   body : Rng.t -> E.txn -> unit;
+  routed : (Rng.t -> Ssi_replication.Router.ro -> unit) option;
 }
 
 type bench = {
@@ -42,6 +43,7 @@ type bench = {
   retry : E.retry_policy;
   chaos : (E.t -> unit) option;
   trace_capacity : int option;
+  fleet : (E.t -> Ssi_replication.Router.t) option;
 }
 
 let in_memory_costs =
@@ -81,6 +83,7 @@ let default_bench =
     retry = E.default_retry_policy;
     chaos = None;
     trace_capacity = None;
+    fleet = None;
   }
 
 type result = {
@@ -212,6 +215,9 @@ let run ~setup ~specs bench =
          transactions run, so the replica sees the full WAL stream; the
          injector stays disarmed until its first burst event. *)
       (match bench.chaos with Some chaos -> chaos db | None -> ());
+      (* The fleet (replicas + router) also attaches before setup, so
+         attach-mode replicas stream the setup transactions too. *)
+      let router = match bench.fleet with Some build -> Some (build db) | None -> None in
       setup db;
       charging := true;
       let iso = isolation_of_mode bench.mode in
@@ -227,6 +233,13 @@ let run ~setup ~specs bench =
       for i = 1 to bench.workers do
         let rng = Rng.make (Hashtbl.hash (bench.seed, i)) in
         let backoff_rng = Rng.make (Hashtbl.hash (bench.seed, i, "backoff")) in
+        (* One session per worker: its reads must observe its own writes
+           even when routed to a replica. *)
+        let session =
+          match router with
+          | Some r -> Some (Ssi_replication.Router.session r)
+          | None -> None
+        in
         Sim.spawn (fun () ->
             while Sim.now () < t_end do
               let spec = pick_spec rng specs total_weight in
@@ -247,10 +260,25 @@ let run ~setup ~specs bench =
                 Obs.Span.add sp "outcome" (Obs.S outcome);
                 Obs.Span.finish obs sp
               in
-              match
-                E.retry_with ~isolation:iso ~read_only:spec.read_only ~policy:bench.retry
-                  ~rng:backoff_rng ~span:sp db (fun txn -> spec.body rng txn)
-              with
+              let run_one () =
+                match (router, session) with
+                | Some r, Some s -> (
+                    match spec.routed with
+                    | Some body when spec.read_only ->
+                        Ssi_replication.Router.read_only ~session:s ~span:sp r (fun ro ->
+                            body rng ro)
+                    | Some _ | None ->
+                        if spec.read_only then
+                          E.retry_with ~isolation:iso ~read_only:true ~policy:bench.retry
+                            ~rng:backoff_rng ~span:sp db (fun txn -> spec.body rng txn)
+                        else
+                          Ssi_replication.Router.write ~session:s ~isolation:iso
+                            ~rng:backoff_rng ~span:sp r (fun txn -> spec.body rng txn))
+                | _ ->
+                    E.retry_with ~isolation:iso ~read_only:spec.read_only ~policy:bench.retry
+                      ~rng:backoff_rng ~span:sp db (fun txn -> spec.body rng txn)
+              in
+              match run_one () with
               | () ->
                   close "committed";
                   let finished = Sim.now () in

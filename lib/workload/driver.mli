@@ -24,6 +24,13 @@ type spec = {
   weight : float;  (** relative frequency in the mix *)
   read_only : bool;  (** declared READ ONLY at BEGIN *)
   body : Ssi_util.Rng.t -> E.txn -> unit;
+  routed : (Ssi_util.Rng.t -> Ssi_replication.Router.ro -> unit) option;
+      (** read-fleet form of a read-only body: when the bench configures a
+          {!bench.fleet} router, read-only specs carrying one are routed
+          through {!Ssi_replication.Router.read_only} (replica or primary,
+          per the router's health/staleness state) instead of opening an
+          engine transaction.  Ignored without a fleet; [None] keeps the
+          spec primary-only. *)
 }
 
 type bench = {
@@ -55,6 +62,18 @@ type bench = {
           capacities well above the workload's event volume, or parents
           and conflict evidence fall out of the bounded tables (the
           [obs.*.dropped] counters say when that happened). *)
+  fleet : (E.t -> Ssi_replication.Router.t) option;
+      (** called on the fresh engine after [chaos] and before [setup]
+          (so attach-mode replicas see the setup WAL): build the read
+          fleet and return its router.  Each worker then gets its own
+          {!Ssi_replication.Router.session}; specs with a [routed] body
+          flow through {!Ssi_replication.Router.read_only}, read/write
+          specs through {!Ssi_replication.Router.write} (both under the
+          router's policy, which the builder typically seeds with the
+          bench retry policy), and read-only specs without a [routed]
+          body keep the direct primary path.  [None] (the default)
+          leaves the single-engine path byte-identical to previous
+          behaviour. *)
 }
 
 val default_bench : bench

@@ -115,41 +115,48 @@ let specs ~users ~items =
       weight = 0.25;
       read_only = true;
       body = (fun rng txn -> browse_category rng ~items txn);
+      routed = None;
     };
     {
       Driver.name = "view-item";
       weight = 0.30;
       read_only = true;
       body = (fun rng txn -> view_item rng ~items txn);
+      routed = None;
     };
     {
       Driver.name = "view-user";
       weight = 0.15;
       read_only = true;
       body = (fun rng txn -> view_user rng ~users txn);
+      routed = None;
     };
     {
       Driver.name = "view-bid-history";
       weight = 0.15;
       read_only = true;
       body = (fun rng txn -> view_bid_history rng ~items txn);
+      routed = None;
     };
     {
       Driver.name = "place-bid";
       weight = 0.09;
       read_only = false;
       body = (fun rng txn -> place_bid rng ~users ~items txn);
+      routed = None;
     };
     {
       Driver.name = "buy-now";
       weight = 0.02;
       read_only = false;
       body = (fun rng txn -> buy_now rng ~users ~items txn);
+      routed = None;
     };
     {
       Driver.name = "leave-comment";
       weight = 0.04;
       read_only = false;
       body = (fun rng txn -> leave_comment rng ~users txn);
+      routed = None;
     };
   ]

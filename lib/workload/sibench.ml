@@ -38,6 +38,17 @@ let update_one rng ~rows txn =
     (E.update txn ~table ~key:(Value.Int k) ~f:(fun row ->
          [| row.(0); Value.Int (Rng.int rng 1_000_000) |]))
 
+(* The routed form of the query: same min-of-table aggregate, read
+   through whichever backend the fleet router picked. *)
+let query_min_routed ro =
+  let best = ref max_int in
+  List.iter
+    (fun row ->
+      let v = Value.as_int row.(1) in
+      if v < !best then best := v)
+    (Ssi_replication.Router.scan ro ~table ());
+  !best
+
 let specs ~rows ?(chunk = 50) () =
   [
     {
@@ -45,11 +56,13 @@ let specs ~rows ?(chunk = 50) () =
       weight = 1.0;
       read_only = false;
       body = (fun rng txn -> update_one rng ~rows txn);
+      routed = None;
     };
     {
       Driver.name = "query";
       weight = 1.0;
       read_only = true;
       body = (fun _rng txn -> ignore (query_min ~rows ~chunk txn));
+      routed = Some (fun _rng ro -> ignore (query_min_routed ro));
     };
   ]

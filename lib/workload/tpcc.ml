@@ -243,36 +243,42 @@ let specs ~warehouses ~ro_fraction =
       weight = 0.45 *. rw;
       read_only = false;
       body = (fun rng txn -> new_order rng ~warehouses txn);
+      routed = None;
     };
     {
       Driver.name = "payment";
       weight = 0.43 *. rw;
       read_only = false;
       body = (fun rng txn -> payment rng ~warehouses txn);
+      routed = None;
     };
     {
       Driver.name = "delivery";
       weight = 0.04 *. rw;
       read_only = false;
       body = (fun rng txn -> delivery rng ~warehouses txn);
+      routed = None;
     };
     {
       Driver.name = "credit-check";
       weight = 0.08 *. rw;
       read_only = false;
       body = (fun rng txn -> credit_check rng ~warehouses txn);
+      routed = None;
     };
     {
       Driver.name = "order-status";
       weight = 0.5 *. ro_fraction;
       read_only = true;
       body = (fun rng txn -> order_status rng ~warehouses txn);
+      routed = None;
     };
     {
       Driver.name = "stock-level";
       weight = 0.5 *. ro_fraction;
       read_only = true;
       body = (fun rng txn -> stock_level rng ~warehouses txn);
+      routed = None;
     };
   ]
   |> List.filter (fun s -> s.Driver.weight > 0.)

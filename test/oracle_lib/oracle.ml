@@ -287,6 +287,78 @@ let check_serializable history =
   | None -> Ok ()
   | Some cycle -> Error cycle
 
+(* ---- Replica reads (§7.2) --------------------------------------------------
+
+   A routed read-only transaction served by a replica observes a snapshot
+   at some commit-order horizon.  Two checks, both against the primary's
+   committed history (whose [order] field must be the commit sequence
+   number the horizon counts in):
+
+   - exactness: each key read must return the last committed writer at or
+     before the horizon (snapshot semantics of the applied WAL prefix);
+   - serializability: the read joins the DSG as a read-only
+     pseudo-transaction (negative xid, no writes) and the combined graph
+     must stay acyclic — the §7.2 guarantee for safe-snapshot reads. *)
+
+type replica_read = {
+  rr_backend : string;  (** routed-to backend name, for diagnostics *)
+  rr_horizon : int;  (** snapshot cseq: commits with order <= this are visible *)
+  rr_reads : (int * int) list;  (** key, writer xid observed (0 = absent) *)
+}
+
+let check_replica_reads ?(initial = []) history rreads =
+  let writers_by_key =
+    List.fold_left
+      (fun acc txn ->
+        List.fold_left
+          (fun acc k ->
+            let existing = try Int_map.find k acc with Not_found -> [] in
+            Int_map.add k ((txn.order, txn.xid) :: existing) acc)
+          acc
+          (List.sort_uniq compare txn.writes))
+      Int_map.empty history.committed
+  in
+  let expected k horizon =
+    let writers = try Int_map.find k writers_by_key with Not_found -> [] in
+    let visible = List.filter (fun (o, _) -> o <= horizon) writers in
+    match List.sort compare visible with
+    | [] -> ( match List.assoc_opt k initial with Some w -> w | None -> 0)
+    | sorted -> snd (List.nth sorted (List.length sorted - 1))
+  in
+  let exactness_error =
+    List.find_map
+      (fun r ->
+        List.find_map
+          (fun (k, got) ->
+            let want = expected k r.rr_horizon in
+            if got = want then None
+            else
+              Some
+                (Printf.sprintf
+                   "replica read on %s at horizon %d: key %d read version %d, commit order \
+                    says %d"
+                   r.rr_backend r.rr_horizon k got want))
+          r.rr_reads)
+      rreads
+  in
+  match exactness_error with
+  | Some e -> Error e
+  | None -> (
+      (* Negative xids keep pseudo-readers disjoint from real writers;
+         [order] does not matter for a transaction with no writes. *)
+      let pseudo =
+        List.mapi
+          (fun i r -> { xid = -(i + 1); reads = r.rr_reads; writes = []; order = r.rr_horizon })
+          rreads
+      in
+      let combined = { committed = history.committed @ pseudo } in
+      match find_cycle (edges_of combined) with
+      | None -> Ok ()
+      | Some cycle ->
+          Error
+            (Printf.sprintf "combined primary+replica DSG is cyclic: %s"
+               (String.concat " -> " (List.map string_of_int cycle))))
+
 let pp_cycle history cycle =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
