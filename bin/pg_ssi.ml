@@ -6,6 +6,9 @@
      pg_ssi workload <sibench|tpcc|rubis> --mode <si|ssi|ssi-noro|s2pl>
                                           -- run one configuration, report its numbers
      pg_ssi stats <sibench|tpcc|rubis>    -- run, then dump the metric registry
+                  [--format text|prom|json] [--window N]
+     pg_ssi monitor <sibench|tpcc|rubis>  -- run with scrape + SLO watchdog: windowed
+                                             time-series table and fired alerts
      pg_ssi trace <sibench|tpcc|rubis>    -- run, then dump trace events as JSONL
      pg_ssi explain <sibench|tpcc|rubis>  -- run, then explain every certifier abort
      pg_ssi chaos [--kill-points N]       -- seeded fault plan, or recovery torture
@@ -175,11 +178,29 @@ let run_workload name mode_str cert_str workers duration seed =
   print_summary name mode certifier workers duration r;
   0
 
-(* ---- stats / trace --------------------------------------------------------- *)
+(* ---- stats / trace / monitor ---------------------------------------------- *)
 
 (* Run a workload while holding on to the engine (via the pre-setup chaos
    hook), then dump the observability core: the full metric registry
    (stats) or the retained trace-event ring as JSON Lines (trace). *)
+
+module Scrape = Ssi_obs.Scrape
+module Watchdog = Ssi_obs.Watchdog
+
+(* The curated panel for the windowed views; metrics a given run never
+   registered render as "-". *)
+let monitor_metrics =
+  [
+    "engine.commits";
+    "engine.aborts";
+    "engine.serialization_failures";
+    "engine.active_txns";
+    "driver.txn_latency";
+    "ssi.summarized";
+    "wal.appends";
+    "wal.flushes";
+    "fleet.markdowns";
+  ]
 
 let run_observed ?trace_capacity name mode_str cert_str workers duration seed k =
   let mode = mode_of_string mode_str in
@@ -206,12 +227,100 @@ let run_observed ?trace_capacity name mode_str cert_str workers duration seed k 
       prerr_endline "internal error: engine was not captured";
       1
 
-let run_stats name mode_str cert_str workers duration seed =
-  run_observed name mode_str cert_str workers duration seed (fun db r ->
+(* Like [run_observed], but with an always-on scraper ticking [windows]
+   times across the run (warmup included: the scraper sees the whole
+   horizon; the driver summary still discards warmup) and a watchdog on
+   the default rule catalog. *)
+let run_windowed name mode_str cert_str workers duration seed ~windows k =
+  let windows = max 1 windows in
+  let horizon = duration +. (duration /. 5.) in
+  let scr = ref None in
+  let wd = ref None in
+  let mode = mode_of_string mode_str in
+  let certifier = certifier_of_string cert_str in
+  let eng = ref None in
+  let chaos db =
+    eng := Some db;
+    let s = Scrape.create ~capacity:(max windows 8) (E.obs db) in
+    scr := Some s;
+    wd := Some (Watchdog.create s (Watchdog.default_rules ()));
+    Scrape.run s ~interval:(horizon /. float_of_int windows) ~until:horizon
+  in
+  let bench =
+    {
+      Driver.default_bench with
+      Driver.mode;
+      certifier;
+      workers;
+      duration;
+      warmup = duration /. 5.;
+      seed;
+      chaos = Some chaos;
+    }
+  in
+  let setup, specs = workload_config name in
+  let r = Driver.run ~setup ~specs bench in
+  match (!eng, !scr, !wd) with
+  | Some db, Some s, Some w -> k db s w r
+  | _ ->
+      prerr_endline "internal error: engine was not captured";
+      1
+
+let run_stats name mode_str cert_str workers duration seed format window =
+  match format with
+  | "text" when window = None ->
+      (* No scraper at all: byte-identical to the historical output. *)
+      run_observed name mode_str cert_str workers duration seed (fun db r ->
+          print_summary name (mode_of_string mode_str) (certifier_of_string cert_str)
+            workers duration r;
+          Format.printf "@.";
+          print_string (Ssi_obs.Obs.render (E.obs db));
+          0)
+  | "text" ->
+      let windows = Option.value window ~default:8 in
+      run_windowed name mode_str cert_str workers duration seed ~windows
+        (fun db s _wd r ->
+          print_summary name (mode_of_string mode_str) (certifier_of_string cert_str)
+            workers duration r;
+          Format.printf "@.";
+          print_string (Ssi_obs.Obs.render (E.obs db));
+          Format.printf "@.";
+          let metrics = List.map fst (Ssi_obs.Obs.raw_metrics (E.obs db)) in
+          print_string (Scrape.render ~last:windows s ~metrics);
+          0)
+  | "prom" ->
+      (* Cumulative exposition needs no scraper, so the registry stays
+         exactly what the run produced. *)
+      run_observed name mode_str cert_str workers duration seed (fun db _r ->
+          let text = Scrape.openmetrics (E.obs db) in
+          (match Scrape.validate_openmetrics text with
+          | Ok _ -> ()
+          | Error e ->
+              Printf.eprintf "internal error: invalid OpenMetrics output: %s\n" e);
+          print_string text;
+          0)
+  | "json" ->
+      let windows = Option.value window ~default:8 in
+      run_windowed name mode_str cert_str workers duration seed ~windows
+        (fun _db s _wd _r ->
+          print_string (Scrape.to_jsonl s);
+          0)
+  | other ->
+      Printf.eprintf "unknown format %s (expected text, prom or json)\n" other;
+      1
+
+let run_monitor name mode_str cert_str workers duration seed windows =
+  run_windowed name mode_str cert_str workers duration seed ~windows (fun _db s w r ->
       print_summary name (mode_of_string mode_str) (certifier_of_string cert_str) workers
         duration r;
       Format.printf "@.";
-      print_string (Ssi_obs.Obs.render (E.obs db));
+      print_string (Scrape.render ~last:windows s ~metrics:monitor_metrics);
+      let alerts = Watchdog.alerts w in
+      Format.printf "@.alerts (%d):@." (List.length alerts);
+      List.iter (fun a -> Format.printf "  %s@." (Watchdog.render_alert a)) alerts;
+      (match Watchdog.active w with
+      | [] -> ()
+      | act -> Format.printf "still active at end of run: %s@." (String.concat ", " act));
       0)
 
 let has_prefix ~prefix s =
@@ -356,10 +465,13 @@ let run_readfleet seed fleet read_mix workers failover partitions net_chaos =
 
 let run_chaos seed cert_str duration workers failover replicas quorum partitions net_chaos
     explain trace_out trace_capacity kill_points kill_every torn_writes wal_out read_fleet
-    read_mix =
+    read_mix alerts scrape_out metrics_out =
   let certifier = certifier_of_string cert_str in
   if kill_points > 0 then run_torture seed certifier kill_points kill_every torn_writes wal_out
   else if read_fleet > 0 then
+    (* The read-fleet harness runs its own always-on scraper and
+       watchdog; its alerts are part of the printed outcome (and of the
+       replay fingerprint). *)
     run_readfleet seed read_fleet read_mix workers failover partitions net_chaos
   else begin
   let rows = 100 in
@@ -379,9 +491,26 @@ let run_chaos seed cert_str duration workers failover replicas quorum partitions
   let old_primary = ref None in
   let streamed = ref [] in
   let failed_over = ref None in
+  let scr = ref None in
+  let wd = ref None in
+  let want_telemetry = alerts || scrape_out <> None || metrics_out <> None in
   let chaos db =
     eng := Some db;
     E.set_fault_injector db (Some (fun ~op -> F.hook injector ~op));
+    if want_telemetry then begin
+      let s = Scrape.create ~capacity:64 (E.obs db) in
+      scr := Some s;
+      let replica_names = List.init replicas (fun i -> Printf.sprintf "r%d" (i + 1)) in
+      wd :=
+        Some
+          (Watchdog.create s
+             (Watchdog.default_rules
+                ~certifier_prefix:(Certifier.kind_to_string certifier)
+                ~replicas:replica_names ()));
+      (* Past the workload horizon so the post-heal catch-up is scraped
+         too. *)
+      Scrape.run s ~interval:(duration /. 25.) ~until:(duration +. 0.1)
+    end;
     if replicas = 0 then begin
       (* Direct mode: the replica hangs off the primary's in-process commit
          hook; network events in the plan are logged as skipped. *)
@@ -516,7 +645,37 @@ let run_chaos seed cert_str duration workers failover replicas quorum partitions
           Format.printf "trace written to %s (%d spans retained, %d dropped)@." path
             (List.length (Ssi_obs.Obs.Spans.all obs))
             (Ssi_obs.Obs.Spans.dropped obs));
-  0
+  let telemetry_ok = ref true in
+  (match (!scr, !wd, !eng) with
+  | Some s, Some w, Some db ->
+      if alerts then begin
+        let als = Watchdog.alerts w in
+        Format.printf "alerts (%d):@." (List.length als);
+        List.iter (fun a -> Format.printf "  %s@." (Watchdog.render_alert a)) als
+      end;
+      let om = Scrape.openmetrics (E.obs db) in
+      (match Scrape.validate_openmetrics om with
+      | Ok families -> Format.printf "openmetrics: valid, %d families@." families
+      | Error e ->
+          Format.printf "openmetrics: INVALID (%s)@." e;
+          telemetry_ok := false);
+      (match scrape_out with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Scrape.to_jsonl s);
+          close_out oc;
+          Format.printf "time series written to %s (%d windows retained)@." path
+            (List.length (Scrape.windows s)));
+      (match metrics_out with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc om;
+          close_out oc;
+          Format.printf "openmetrics written to %s@." path)
+  | _ -> ());
+  if !telemetry_ok then 0 else 1
   end
 
 (* ---- sql REPL ------------------------------------------------------------ *)
@@ -605,14 +764,46 @@ let workload_cmd =
       $ seed_arg)
 
 let stats_cmd =
+  let format_arg =
+    Arg.(value & opt string "text"
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:
+               "Output format: text (the registry table, plus a windowed time-series \
+                table when $(b,--window) is given), prom (Prometheus/OpenMetrics text \
+                exposition of the cumulative registry) or json (JSON Lines, one object \
+                per scrape window)")
+  in
+  let window_arg =
+    Arg.(value & opt (some int) None
+         & info [ "window" ] ~docv:"N"
+             ~doc:
+               "Scrape the registry $(docv) times across the run and report windowed \
+                deltas (default 8 for $(b,--format) json; off for text)")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Run a workload, then dump every metric in the observability registry \
-          (counters, gauges, latency histograms) as a table")
+          (counters, gauges, latency histograms) as a table — or as OpenMetrics / \
+          windowed JSON Lines with $(b,--format)")
     Term.(
       const run_stats $ wl_arg $ mode_arg $ certifier_arg $ workers_arg $ duration_arg
-      $ seed_arg)
+      $ seed_arg $ format_arg $ window_arg)
+
+let monitor_cmd =
+  let window_arg =
+    Arg.(value & opt int 12
+         & info [ "window" ] ~docv:"N" ~doc:"Number of scrape windows across the run")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Run a workload with the always-on telemetry pipeline: scrape the registry into \
+          windowed deltas on the virtual clock, render the key metrics as a time-series \
+          table, and report every SLO-watchdog alert the run fired")
+    Term.(
+      const run_monitor $ wl_arg $ mode_arg $ certifier_arg $ workers_arg $ duration_arg
+      $ seed_arg $ window_arg)
 
 let trace_cmd =
   let filter_arg =
@@ -749,6 +940,28 @@ let chaos_cmd =
              ~doc:"With $(b,--read-fleet): fraction of client transactions that are reads"
              ~docv:"F")
   in
+  let alerts_arg =
+    Arg.(value & flag
+         & info [ "alerts" ]
+             ~doc:
+               "Run the SLO watchdog (default rule catalog) over an always-on scrape of \
+                the run and print every alert it fired; also validates the OpenMetrics \
+                exposition of the final registry (non-zero exit if invalid)")
+  in
+  let scrape_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "scrape-out" ] ~docv:"FILE"
+             ~doc:
+               "Write the scraped time series (one JSON object per window) to $(docv); \
+                implies the always-on scrape")
+  in
+  let metrics_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:
+               "Write the final registry in OpenMetrics text format to $(docv); implies \
+                the always-on scrape")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -760,7 +973,8 @@ let chaos_cmd =
       const run_chaos $ seed_arg $ certifier_arg $ duration_arg $ workers_arg $ failover_arg
       $ replicas_arg $ quorum_arg $ partitions_arg $ net_chaos_arg $ explain_arg
       $ trace_out_arg $ trace_capacity_arg $ kill_points_arg $ kill_every_arg
-      $ torn_writes_arg $ wal_out_arg $ read_fleet_arg $ read_mix_arg)
+      $ torn_writes_arg $ wal_out_arg $ read_fleet_arg $ read_mix_arg $ alerts_arg
+      $ scrape_out_arg $ metrics_out_arg)
 
 let recover_cmd =
   let file_arg =
@@ -796,6 +1010,7 @@ let () =
             bench_cmd;
             workload_cmd;
             stats_cmd;
+            monitor_cmd;
             trace_cmd;
             explain_cmd;
             chaos_cmd;

@@ -108,6 +108,9 @@ type metrics = {
   h_update : Obs.histogram;
   h_delete : Obs.histogram;
   h_commit : Obs.histogram;
+  g_active : Obs.gauge;
+      (** [engine.active_txns]: live (running + prepared) transactions —
+          a saturation signal for the scrape/watchdog layer *)
 }
 
 type index_s = {
@@ -207,6 +210,7 @@ let create ?(scheduler = Waitq.direct) ?(config = default_config) ?obs () =
         h_update = Obs.histogram obs "engine.latency.update";
         h_delete = Obs.histogram obs "engine.latency.delete";
         h_commit = Obs.histogram obs "engine.latency.commit";
+        g_active = Obs.gauge obs "engine.active_txns";
       };
     on_commit = [];
     commit_gate = None;
@@ -466,6 +470,7 @@ let make_txn db ~iso ~ro ~xid ~snapshot ~sxact ~span =
       Obs.set_owner_span db.obs xid s
   | None -> ());
   Hashtbl.add db.active xid txn;
+  Obs.set_gauge db.metrics.g_active (float_of_int (Hashtbl.length db.active));
   txn
 
 let rec begin_deferrable ?span db =
@@ -1250,6 +1255,7 @@ let finish_txn txn =
   txn.finished <- true;
   txn.prepared_gid <- None;
   Hashtbl.remove txn.db.active txn.txn_xid;
+  Obs.set_gauge txn.db.metrics.g_active (float_of_int (Hashtbl.length txn.db.active));
   Lockmgr.release_all txn.db.locks ~owner:txn.txn_xid;
   (* Drop the xid->span rendezvous (only if it is still ours: engines
      sharing a registry can reuse xids) and close an engine-opened span. *)
@@ -1500,6 +1506,7 @@ let simulate_connection_loss db =
       txn.finished <- true;
       txn.crashed <- true;
       Hashtbl.remove db.active txn.txn_xid;
+      Obs.set_gauge db.metrics.g_active (float_of_int (Hashtbl.length db.active));
       Lockmgr.release_all db.locks ~owner:txn.txn_xid;
       (match (txn.span, Obs.owner_span db.obs txn.txn_xid) with
       | Some s, Some s' when s == s' -> Obs.clear_owner_span db.obs txn.txn_xid

@@ -189,6 +189,7 @@ type mode_summary = {
   throughput_tps : float;
   committed : int;
   failure_rate : float;
+  p99_s : float;  (* tail latency; [nan] when the summary predates the field *)
 }
 
 type summary = { workload : string; modes : mode_summary list }
@@ -222,6 +223,10 @@ let summary_of_json ~file j =
               throughput_tps = num "throughput_tps";
               committed = int_of_float (num "committed");
               failure_rate = num "failure_rate";
+              p99_s =
+                (match to_num (member "p99_latency_s" m) with
+                | Some v -> v
+                | None -> nan);
             })
           ms
     | _ -> bad "missing \"modes\""
@@ -246,12 +251,23 @@ type comparison = {
   current_tps : float;
   delta_pct : float;  (** (current - baseline) / baseline * 100; 0 when no baseline *)
   verdict : verdict;
+  baseline_p99 : float;
+  current_p99 : float;
+  p99_delta_pct : float;
+  p99_verdict : verdict;
+      (** [Missing_baseline] when either side lacks a usable p99 (nan or 0);
+          a p99 {e increase} beyond the latency tolerance is [Regressed] *)
 }
 
 (* [tolerance] is a fraction: 0.15 fails a mode whose throughput dropped
    more than 15% below its committed baseline.  Improvements beyond the
-   tolerance are flagged (not failed) so stale baselines get refreshed. *)
-let compare_summaries ~tolerance ~baseline ~current =
+   tolerance are flagged (not failed) so stale baselines get refreshed.
+   [latency_tolerance] gates p99 the other way around (an increase is the
+   regression); it is looser because tail latency amplifies behavior
+   shifts that throughput absorbs — but the percentile itself comes from
+   the bounded histogram with a documented ±1% relative error, so the
+   slack is for the workload, not the measurement. *)
+let compare_summaries ~tolerance ?(latency_tolerance = 0.25) ~baseline ~current () =
   List.map
     (fun cur ->
       match List.find_opt (fun b -> b.mode = cur.mode) baseline.modes with
@@ -263,6 +279,10 @@ let compare_summaries ~tolerance ~baseline ~current =
             current_tps = cur.throughput_tps;
             delta_pct = 0.;
             verdict = Missing_baseline;
+            baseline_p99 = nan;
+            current_p99 = cur.p99_s;
+            p99_delta_pct = 0.;
+            p99_verdict = Missing_baseline;
           }
       | Some b ->
           let delta_pct =
@@ -274,6 +294,18 @@ let compare_summaries ~tolerance ~baseline ~current =
             else if delta_pct > tolerance *. 100. then Improved
             else Ok_within_tolerance
           in
+          let usable v = Float.is_finite v && v > 0. in
+          let p99_delta_pct, p99_verdict =
+            if not (usable b.p99_s && usable cur.p99_s) then (0., Missing_baseline)
+            else
+              let d = (cur.p99_s -. b.p99_s) /. b.p99_s *. 100. in
+              let v =
+                if d > latency_tolerance *. 100. then Regressed
+                else if d < -.(latency_tolerance *. 100.) then Improved
+                else Ok_within_tolerance
+              in
+              (d, v)
+          in
           {
             c_workload = current.workload;
             c_mode = cur.mode;
@@ -281,10 +313,15 @@ let compare_summaries ~tolerance ~baseline ~current =
             current_tps = cur.throughput_tps;
             delta_pct;
             verdict;
+            baseline_p99 = b.p99_s;
+            current_p99 = cur.p99_s;
+            p99_delta_pct;
+            p99_verdict;
           })
     current.modes
 
-let any_regression comparisons = List.exists (fun c -> c.verdict = Regressed) comparisons
+let any_regression comparisons =
+  List.exists (fun c -> c.verdict = Regressed || c.p99_verdict = Regressed) comparisons
 
 let verdict_name = function
   | Ok_within_tolerance -> "ok"
@@ -301,21 +338,25 @@ let render_report ~tolerance comparisons =
         Deterministic simulation: any delta is a code-behavior change.\n\n"
        (tolerance *. 100.));
   Buffer.add_string buf
-    "| workload | mode | baseline tps | current tps | delta | verdict |\n";
-  Buffer.add_string buf "|---|---|---:|---:|---:|---|\n";
+    "| workload | mode | baseline tps | current tps | delta | verdict | baseline p99 \
+     | current p99 | p99 delta | p99 verdict |\n";
+  Buffer.add_string buf "|---|---|---:|---:|---:|---|---:|---:|---:|---|\n";
+  let lat v = if Float.is_nan v then "-" else Printf.sprintf "%.6f" v in
   List.iter
     (fun c ->
       Buffer.add_string buf
-        (Printf.sprintf "| %s | %s | %s | %.1f | %+.1f%% | %s |\n" c.c_workload c.c_mode
+        (Printf.sprintf "| %s | %s | %s | %.1f | %+.1f%% | %s | %s | %s | %+.1f%% | %s |\n"
+           c.c_workload c.c_mode
            (if Float.is_nan c.baseline_tps then "-" else Printf.sprintf "%.1f" c.baseline_tps)
-           c.current_tps c.delta_pct (verdict_name c.verdict)))
+           c.current_tps c.delta_pct (verdict_name c.verdict) (lat c.baseline_p99)
+           (lat c.current_p99) c.p99_delta_pct (verdict_name c.p99_verdict)))
     comparisons;
   Buffer.add_char buf '\n';
   if any_regression comparisons then
     Buffer.add_string buf
-      "**FAIL**: at least one mode regressed beyond tolerance.  If the drop is\n\
-       an accepted trade-off, refresh the baselines (see EXPERIMENTS.md,\n\
-       \"Performance trajectory\").\n"
+      "**FAIL**: at least one mode regressed beyond tolerance (throughput or\n\
+       p99).  If the drop is an accepted trade-off, refresh the baselines\n\
+       (see EXPERIMENTS.md, \"Performance trajectory\").\n"
   else
     Buffer.add_string buf "All modes within tolerance.\n";
   Buffer.contents buf

@@ -31,6 +31,10 @@ type mode_summary = {
   throughput_tps : float;
   committed : int;
   failure_rate : float;
+  p99_s : float;
+      (** p99 transaction latency ([p99_latency_s] in the JSON), read from
+          the driver's bounded histogram; [nan] when the summary predates
+          the field *)
 }
 
 type summary = { workload : string; modes : mode_summary list }
@@ -52,16 +56,33 @@ type comparison = {
   current_tps : float;
   delta_pct : float;
   verdict : verdict;
+  baseline_p99 : float;
+  current_p99 : float;
+  p99_delta_pct : float;
+  p99_verdict : verdict;
+      (** tail-latency gate: [Regressed] when p99 {e rose} beyond the
+          latency tolerance; [Missing_baseline] when either side lacks a
+          usable (finite, positive) p99 *)
 }
 
 val compare_summaries :
-  tolerance:float -> baseline:summary -> current:summary -> comparison list
+  tolerance:float ->
+  ?latency_tolerance:float ->
+  baseline:summary ->
+  current:summary ->
+  unit ->
+  comparison list
 (** [tolerance] is a fraction: [0.15] marks a mode [Regressed] when its
     throughput dropped more than 15% below baseline, and [Improved] when
     it rose more than 15% (a hint to refresh the baseline, not a
-    failure). *)
+    failure).  [latency_tolerance] (default [0.25]) gates p99 in the
+    opposite direction — an increase is the regression; the percentile
+    itself carries only the histogram's ±1% relative error, so the slack
+    absorbs workload shifts, not measurement noise. *)
 
 val any_regression : comparison list -> bool
+(** True when any mode regressed on throughput {e or} p99. *)
+
 val verdict_name : verdict -> string
 
 val render_report : tolerance:float -> comparison list -> string

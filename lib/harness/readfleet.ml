@@ -12,6 +12,8 @@ module Router = Ssi_replication.Router
 module Stream = Ssi_replication.Stream
 module Net = Ssi_net.Net
 module Obs = Ssi_obs.Obs
+module Scrape = Ssi_obs.Scrape
+module Watchdog = Ssi_obs.Watchdog
 module Sim = Ssi_sim.Sim
 module F = Ssi_fault.Fault
 module Rng = Ssi_util.Rng
@@ -63,6 +65,7 @@ type outcome = {
   promote_cseq : int option;
   violation : string option;
   chaos_log : string list;
+  alerts : string list;
   final_rows : (int * int) list;
 }
 
@@ -127,6 +130,7 @@ let run cfg =
   in
   let final_rows = ref [] in
   let convergence_error = ref None in
+  let watchdog = ref None in
   ignore
     (Sim.run (fun () ->
          E.create_table db ~name:table ~cols:[ "k"; "writer" ] ~key:"k";
@@ -147,6 +151,21 @@ let run cfg =
          let cores = List.map Stream.core subs in
          let router = Router.create ~policy:router_policy ~seed:cfg.seed ~primary:db () in
          List.iter (Router.add_replica router) cores;
+         (* Always-on telemetry: scrape the shared registry every 4ms of
+            virtual time across the chaos horizon and run the SLO
+            watchdog over the windows.  Thresholds are tuned to the
+            harness's scale (a single mark-down or a 3-deep lag spike is
+            churn worth alerting on here); firings land in the outcome
+            and must replay byte-identically. *)
+         let scrape = Scrape.create ~capacity:64 (E.obs db) in
+         watchdog :=
+           Some
+             (Watchdog.create scrape
+                (Watchdog.default_rules
+                   ~replicas:(List.map R.name cores)
+                   ~abort_rate:100. ~markdown_rate:5. ~lag_threshold:2.
+                   ~lag_windows:2 ()));
+         Scrape.run scrape ~interval:(horizon /. 25.) ~until:horizon;
          let observer phase (ev : F.event) =
            match (phase, ev.F.kind) with
            | `After, F.Failover ->
@@ -406,6 +425,10 @@ let run cfg =
     promote_cseq;
     violation;
     chaos_log = List.rev !chaos_lines;
+    alerts =
+      (match !watchdog with
+      | Some wd -> List.map Watchdog.render_alert (Watchdog.alerts wd)
+      | None -> []);
     final_rows = !final_rows;
   }
 
@@ -425,6 +448,7 @@ let pp_outcome ppf o =
   | Some pc -> f "failover: promoted at cseq %d@." pc
   | None -> f "failover: none@.");
   List.iter (fun l -> f "  chaos %s@." l) o.chaos_log;
+  List.iter (fun l -> f "  alert %s@." l) o.alerts;
   match o.violation with
   | None -> f "oracle: clean@."
   | Some v -> f "oracle: VIOLATION: %s@." v

@@ -66,6 +66,12 @@ type outcome = {
   violation : string option;
       (** first oracle / convergence violation, [None] when clean *)
   chaos_log : string list;  (** the replayable fault schedule *)
+  alerts : string list;
+      (** rendered SLO-watchdog firings ({!Ssi_obs.Watchdog}), in firing
+          order — an always-on scraper samples the run and evaluates the
+          default rule catalog, so lag breaches / mark-down churn /
+          abort spikes under the fault plan surface here and replay
+          byte-identically (they are part of the fingerprint) *)
   final_rows : (int * int) list;  (** acting primary's state, sorted *)
 }
 

@@ -6,7 +6,13 @@ type counter = { c_name : string; mutable c : int }
    dump/render skip unset gauges and [get_gauge] reports them as [nan]
    instead of silently yielding 0. *)
 type gauge = { g_name : string; mutable g : float; mutable g_set : bool }
-type histogram = { h_name : string; h_stats : Stats.t }
+
+(* Histograms are bounded log-bucketed sketches (Bhist): O(buckets)
+   memory regardless of how long the run is, mergeable across
+   registries, with quantiles within [hist_accuracy] relative error. *)
+type histogram = { h_name : string; h_hist : Bhist.t }
+
+let hist_accuracy = 0.01
 
 type metric = Counter of counter | Gauge of gauge | Hist of histogram
 
@@ -136,17 +142,17 @@ let set_gauge g x =
 
 let gauge_value g = g.g
 
-let histogram t name =
+let histogram ?(accuracy = hist_accuracy) t name =
   match Hashtbl.find_opt t.metrics name with
   | Some (Hist h) -> h
   | Some m -> wrong_kind name "histogram" m
   | None ->
-      let h = { h_name = name; h_stats = Stats.create () } in
+      let h = { h_name = name; h_hist = Bhist.create ~accuracy () } in
       Hashtbl.replace t.metrics name (Hist h);
       h
 
-let observe h x = Stats.add h.h_stats x
-let histogram_stats h = h.h_stats
+let observe h x = Bhist.add h.h_hist x
+let histogram_hist h = h.h_hist
 
 let get_counter t name =
   match Hashtbl.find_opt t.metrics name with Some (Counter c) -> c.c | _ -> 0
@@ -161,35 +167,40 @@ let get_gauge t name =
 (* ------------------------------------------------------------------ *)
 
 let find_histogram t name =
-  match Hashtbl.find_opt t.metrics name with Some (Hist h) -> Some h.h_stats | _ -> None
+  match Hashtbl.find_opt t.metrics name with Some (Hist h) -> Some h.h_hist | _ -> None
 
-(* A snap freezes each counter's value and each histogram's sample
-   count.  Stats.t appends observations in insertion order, so the
-   window's samples are exactly the suffix past the frozen count. *)
-type snap = (string, int) Hashtbl.t
+(* A snap freezes each counter's value and a bucket-wise copy of each
+   histogram.  Bhist copies are O(buckets), so snapping stays cheap no
+   matter how many observations the window absorbed; diffing the frozen
+   copy against the live sketch yields the window's exact increment. *)
+type snap = {
+  s_counters : (string, int) Hashtbl.t;
+  s_hists : (string, Bhist.t) Hashtbl.t;
+}
 
 let snap t =
-  let s = Hashtbl.create (Hashtbl.length t.metrics) in
+  let s_counters = Hashtbl.create (Hashtbl.length t.metrics) in
+  let s_hists = Hashtbl.create 16 in
   Hashtbl.iter
     (fun name m ->
       match m with
-      | Counter c -> Hashtbl.replace s name c.c
-      | Hist h -> Hashtbl.replace s name (Stats.count h.h_stats)
+      | Counter c -> Hashtbl.replace s_counters name c.c
+      | Hist h -> Hashtbl.replace s_hists name (Bhist.copy h.h_hist)
       | Gauge _ -> ())
     t.metrics;
-  s
+  { s_counters; s_hists }
 
-let snapped s name = Option.value ~default:0 (Hashtbl.find_opt s name)
+let snapped s name = Option.value ~default:0 (Hashtbl.find_opt s.s_counters name)
 
 let delta_counter t s name = get_counter t name - snapped s name
 
-let delta_values t s name =
+let delta_hist t s name =
   match find_histogram t name with
-  | None -> [||]
-  | Some st ->
-      let v = Stats.values st in
-      let base = Stdlib.min (snapped s name) (Array.length v) in
-      Array.sub v base (Array.length v - base)
+  | None -> Bhist.create ~accuracy:hist_accuracy ()
+  | Some cur -> (
+      match Hashtbl.find_opt s.s_hists name with
+      | Some base -> Bhist.diff ~cur ~base
+      | None -> Bhist.copy cur (* born after the snap: whole life is the delta *))
 
 (* ------------------------------------------------------------------ *)
 (* Rendered views                                                     *)
@@ -208,13 +219,25 @@ type value = Counter_v of int | Gauge_v of float | Histogram_v of hist_summary
 
 let summarize st =
   {
-    h_count = Stats.count st;
-    h_mean = Stats.mean st;
-    h_p50 = Stats.percentile_nearest st 0.5;
-    h_p95 = Stats.percentile_nearest st 0.95;
-    h_p99 = Stats.percentile_nearest st 0.99;
-    h_max = Stats.max_value st;
+    h_count = Bhist.count st;
+    h_mean = Bhist.mean st;
+    h_p50 = Bhist.percentile st 0.5;
+    h_p95 = Bhist.percentile st 0.95;
+    h_p99 = Bhist.percentile st 0.99;
+    h_max = Bhist.max_value st;
   }
+
+(* Raw, uncopied view for the scrape layer: live sketches, exact counter
+   and gauge values, sorted for deterministic iteration. *)
+let raw_metrics t =
+  Hashtbl.fold
+    (fun name m acc ->
+      match m with
+      | Counter c -> (name, `Counter c.c) :: acc
+      | Gauge g -> if g.g_set then (name, `Gauge g.g) :: acc else acc
+      | Hist h -> (name, `Hist h.h_hist) :: acc)
+    t.metrics []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let dump t =
   Hashtbl.fold
@@ -222,7 +245,7 @@ let dump t =
       match m with
       | Counter c -> (name, Counter_v c.c) :: acc
       | Gauge g -> if g.g_set then (name, Gauge_v g.g) :: acc else acc
-      | Hist h -> (name, Histogram_v (summarize h.h_stats)) :: acc)
+      | Hist h -> (name, Histogram_v (summarize h.h_hist)) :: acc)
     t.metrics []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 

@@ -1,7 +1,9 @@
 (** Unified observability core.
 
     One process-wide-capable (but deliberately instantiable) registry of
-    named metrics — counters, gauges and full-sample histograms — plus a
+    named metrics — counters, gauges and bounded log-bucketed histograms
+    ({!Ssi_util.Bhist}: O(buckets) memory, mergeable, quantile error
+    ≤ {!hist_accuracy}) — plus a
     bounded ring buffer of structured trace events stamped with the
     virtual clock, plus a bounded table of causal {e spans}
     (Dapper-style: [(trace_id, span_id, parent_id)] with typed
@@ -41,6 +43,11 @@ val set_clock : t -> (unit -> float) -> unit
     engine points this at the simulation's virtual clock; the default
     returns [0.]. *)
 
+val now : t -> float
+(** The registry clock's current reading.  Once a simulation-backed
+    clock has ended (and raises), this freezes at the last successful
+    reading instead — safe for post-run exports. *)
+
 (** {1 Metrics}
 
     [counter]/[gauge]/[histogram] are get-or-create by name and return a
@@ -63,9 +70,20 @@ val set_gauge : gauge -> float -> unit
 
 val gauge_value : gauge -> float
 
-val histogram : t -> string -> histogram
+val histogram : ?accuracy:float -> t -> string -> histogram
+(** Get-or-create a bounded log-bucketed histogram
+    ({!Ssi_util.Bhist}): O(buckets) memory however many observations it
+    absorbs, quantiles within relative error [accuracy] (default
+    {!hist_accuracy}).  [accuracy] only takes effect at creation; a
+    later lookup returns the existing sketch unchanged. *)
+
 val observe : histogram -> float -> unit
-val histogram_stats : histogram -> Ssi_util.Stats.t
+val histogram_hist : histogram -> Ssi_util.Bhist.t
+
+val hist_accuracy : float
+(** Default relative quantile error bound for registry histograms
+    (0.01 = 1%): any reported p50/p95/p99 is within 1% of the value a
+    full-sample nearest-rank percentile would report. *)
 
 val get_counter : t -> string -> int
 (** Counter value by name; [0] when the counter was never created. *)
@@ -77,13 +95,14 @@ val get_gauge : t -> string -> float
     never-set gauges are likewise skipped by {!dump}/{!render} rather
     than rendered as [nan]. *)
 
-val find_histogram : t -> string -> Ssi_util.Stats.t option
+val find_histogram : t -> string -> Ssi_util.Bhist.t option
 
 (** {1 Snapshots and deltas}
 
-    A [snap] freezes every counter value and histogram sample count.
-    Deltas against a snap give per-window readings — the replacement for
-    the old pattern of hand-copying stats records at window edges. *)
+    A [snap] freezes every counter value and a bucket-wise copy of every
+    histogram (O(buckets) per histogram, not O(samples)).  Deltas
+    against a snap give per-window readings — the replacement for the
+    old pattern of hand-copying stats records at window edges. *)
 
 type snap
 
@@ -92,11 +111,18 @@ val snap : t -> snap
 val delta_counter : t -> snap -> string -> int
 (** Counter increase since the snap ([0] if absent in both). *)
 
-val delta_values : t -> snap -> string -> float array
-(** Histogram observations recorded since the snap, in insertion
-    order; [\[||\]] if the histogram is absent.  Histograms keep every
-    sample, so this is exact even when the trace ring has wrapped many
-    times in the window. *)
+val delta_hist : t -> snap -> string -> Ssi_util.Bhist.t
+(** The histogram's increment since the snap as a fresh sketch (exact
+    bucket counts/sum; min/max at bucket resolution — see
+    {!Ssi_util.Bhist.diff}).  Empty if the histogram is absent; the
+    whole sketch if it was created after the snap. *)
+
+val raw_metrics :
+  t -> (string * [ `Counter of int | `Gauge of float | `Hist of Ssi_util.Bhist.t ]) list
+(** Every metric with its raw current value, sorted by name — the
+    scrape layer's sampling surface.  Histograms are the {e live}
+    sketches (copy before retaining); never-written gauges are
+    omitted. *)
 
 (** {1 Rendered views} *)
 
@@ -150,6 +176,13 @@ val events : t -> event list
 
 val event_to_json : event -> string
 (** One JSON object, fields flattened alongside [seq]/[ts]/[event]. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping, shared by every exporter in the tree. *)
+
+val json_float : float -> string
+(** Shortest-round-trip float literal; non-finite values render as
+    [null]. *)
 
 val events_to_jsonl : t -> string
 (** All retained events as JSON Lines, one object per line. *)

@@ -1,0 +1,370 @@
+open Ssi_util
+module Sim = Ssi_sim.Sim
+
+type point =
+  | Rate of { delta : int; total : int }
+  | Gauge of float
+  | Hist of { delta : Bhist.t; count : int; sum : float }
+
+type window = {
+  w_idx : int;
+  w_start : float;
+  w_end : float;
+  w_points : (string * point) list;
+}
+
+type t = {
+  obs : Obs.t;
+  capacity : int;
+  ring : window option array;
+  mutable produced : int;
+  mutable base : Obs.snap;
+  mutable base_ts : float;
+  mutable hooks : (window -> unit) list;  (* registration order *)
+  dropped : Obs.counter;
+}
+
+let create ?(capacity = 64) obs =
+  if capacity <= 0 then invalid_arg "Scrape.create: capacity must be positive";
+  {
+    obs;
+    capacity;
+    ring = Array.make capacity None;
+    produced = 0;
+    base = Obs.snap obs;
+    base_ts = Obs.now obs;
+    hooks = [];
+    dropped = Obs.counter obs "obs.scrape.dropped";
+  }
+
+let obs t = t.obs
+let on_tick t f = t.hooks <- t.hooks @ [ f ]
+let produced t = t.produced
+
+let tick t =
+  let ts = Obs.now t.obs in
+  let w_points =
+    List.map
+      (fun (name, raw) ->
+        match raw with
+        | `Counter total ->
+            (name, Rate { delta = Obs.delta_counter t.obs t.base name; total })
+        | `Gauge v -> (name, Gauge v)
+        | `Hist h ->
+            ( name,
+              Hist
+                {
+                  delta = Obs.delta_hist t.obs t.base name;
+                  count = Bhist.count h;
+                  sum = Bhist.total h;
+                } ))
+      (Obs.raw_metrics t.obs)
+  in
+  let w = { w_idx = t.produced; w_start = t.base_ts; w_end = ts; w_points } in
+  let slot = w.w_idx mod t.capacity in
+  (match t.ring.(slot) with Some _ -> Obs.incr t.dropped | None -> ());
+  t.ring.(slot) <- Some w;
+  t.produced <- t.produced + 1;
+  t.base <- Obs.snap t.obs;
+  t.base_ts <- ts;
+  List.iter (fun f -> f w) t.hooks
+
+(* Horizon-bounded: an open-ended periodic process would keep the
+   simulation's event queue from ever draining. *)
+let run t ~interval ~until =
+  if interval <= 0. then invalid_arg "Scrape.run: interval must be positive";
+  Sim.spawn (fun () ->
+      let rec loop () =
+        let now = Sim.now () in
+        if now < until then begin
+          Sim.delay (Float.min interval (until -. now));
+          tick t;
+          loop ()
+        end
+      in
+      loop ())
+
+let windows t =
+  Array.to_list t.ring
+  |> List.filter_map Fun.id
+  |> List.sort (fun a b -> Stdlib.compare a.w_idx b.w_idx)
+
+let find w name = List.assoc_opt name w.w_points
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let point_to_json = function
+  | Rate { delta; total } ->
+      Printf.sprintf "{\"type\":\"counter\",\"delta\":%d,\"total\":%d}" delta total
+  | Gauge v -> Printf.sprintf "{\"type\":\"gauge\",\"value\":%s}" (Obs.json_float v)
+  | Hist { delta; count; sum } ->
+      Printf.sprintf
+        "{\"type\":\"histogram\",\"delta_count\":%d,\"delta_sum\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"count\":%d,\"sum\":%s}"
+        (Bhist.count delta)
+        (Obs.json_float (Bhist.total delta))
+        (Obs.json_float (Bhist.percentile delta 0.5))
+        (Obs.json_float (Bhist.percentile delta 0.95))
+        (Obs.json_float (Bhist.percentile delta 0.99))
+        count (Obs.json_float sum)
+
+let window_to_json w =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"window\":%d,\"start\":%s,\"end\":%s,\"metrics\":{" w.w_idx
+       (Obs.json_float w.w_start) (Obs.json_float w.w_end));
+  List.iteri
+    (fun i (name, p) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":%s" (Obs.json_escape name) (point_to_json p)))
+    w.w_points;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let to_jsonl t =
+  windows t |> List.map window_to_json |> String.concat "\n"
+  |> fun s -> if s = "" then s else s ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics exposition                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+        || c = '_' || c = ':'
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  let s = Bytes.to_string b in
+  match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+(* [le] bounds must re-parse exactly and strictly increase; shortest
+   round-trip float formatting gives both. *)
+let le_fmt x = Printf.sprintf "%.17g" x |> fun s ->
+  let shorter = Printf.sprintf "%.9g" x in
+  if float_of_string shorter = x then shorter else s
+
+let openmetrics obs =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, raw) ->
+      let n = sanitize name in
+      match raw with
+      | `Counter v ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+          Buffer.add_string buf (Printf.sprintf "%s_total %d\n" n v)
+      | `Gauge v ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+          Buffer.add_string buf (Printf.sprintf "%s %s\n" n (le_fmt v))
+      | `Hist h ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+          let cum = ref 0 in
+          if Bhist.zero_count h > 0 then begin
+            cum := Bhist.zero_count h;
+            Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"0\"} %d\n" n !cum)
+          end;
+          List.iter
+            (fun (i, c) ->
+              cum := !cum + c;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
+                   (le_fmt (Bhist.bucket_upper h i))
+                   !cum))
+            (Bhist.buckets h);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n (Bhist.count h));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n" n (le_fmt (Bhist.total h)));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n (Bhist.count h)))
+    (Obs.raw_metrics obs);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Strict OpenMetrics validation (the in-repo "lint")                 *)
+(* ------------------------------------------------------------------ *)
+
+type family = {
+  f_type : string;
+  mutable f_prev_le : float;  (* last le bound seen, -inf initially *)
+  mutable f_prev_cum : int;
+  mutable f_inf_count : int option;
+  mutable f_count : int option;
+}
+
+let validate_openmetrics text =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let lines = String.split_on_char '\n' text in
+  let families : (string, family) Hashtbl.t = Hashtbl.create 32 in
+  let name_ok n =
+    n <> ""
+    && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+    && String.for_all
+         (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+         n
+  in
+  let strip_suffix n s =
+    let ln = String.length n and ls = String.length s in
+    if ln > ls && String.sub n (ln - ls) ls = s then Some (String.sub n 0 (ln - ls))
+    else None
+  in
+  let rec go lineno saw_eof = function
+    | [] -> if saw_eof then Ok (Hashtbl.length families) else err "missing # EOF"
+    | "" :: rest ->
+        if rest = [] then go (lineno + 1) saw_eof rest
+        else if saw_eof then go (lineno + 1) saw_eof rest
+        else err "line %d: blank line before # EOF" lineno
+    | line :: rest ->
+        if saw_eof then err "line %d: content after # EOF" lineno
+        else if line = "# EOF" then go (lineno + 1) true rest
+        else if String.length line > 7 && String.sub line 0 7 = "# TYPE " then begin
+          match String.split_on_char ' ' line with
+          | [ _; _; name; ty ] when name_ok name ->
+              if not (List.mem ty [ "counter"; "gauge"; "histogram" ]) then
+                err "line %d: unknown type %S" lineno ty
+              else if Hashtbl.mem families name then
+                err "line %d: duplicate family %S" lineno name
+              else begin
+                Hashtbl.replace families name
+                  {
+                    f_type = ty;
+                    f_prev_le = neg_infinity;
+                    f_prev_cum = 0;
+                    f_inf_count = None;
+                    f_count = None;
+                  };
+                go (lineno + 1) saw_eof rest
+              end
+          | _ -> err "line %d: malformed TYPE line" lineno
+        end
+        else if String.length line > 7 && String.sub line 0 7 = "# HELP " then
+          go (lineno + 1) saw_eof rest
+        else if String.length line > 0 && line.[0] = '#' then
+          err "line %d: unexpected comment %S" lineno line
+        else begin
+          (* sample: name[{labels}] value *)
+          match String.index_opt line ' ' with
+          | None -> err "line %d: sample without value" lineno
+          | Some sp -> (
+              let metric = String.sub line 0 sp in
+              let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+              let v =
+                if value = "+Inf" then Some infinity else float_of_string_opt value
+              in
+              match v with
+              | None -> err "line %d: unparseable value %S" lineno value
+              | Some v -> (
+                  let base, le =
+                    match String.index_opt metric '{' with
+                    | None -> (metric, None)
+                    | Some b ->
+                        let labels = String.sub metric b (String.length metric - b) in
+                        let name = String.sub metric 0 b in
+                        let le_prefix = "{le=\"" in
+                        let lp = String.length le_prefix in
+                        if
+                          String.length labels > lp + 2
+                          && String.sub labels 0 lp = le_prefix
+                          && String.sub labels (String.length labels - 2) 2 = "\"}"
+                        then
+                          ( name,
+                            Some (String.sub labels lp (String.length labels - lp - 2))
+                          )
+                        else (name, Some "")
+                  in
+                  let fam suffix =
+                    match strip_suffix base suffix with
+                    | Some f -> Hashtbl.find_opt families f |> Option.map (fun x -> (f, x))
+                    | None -> None
+                  in
+                  match le with
+                  | Some le_str -> (
+                      match fam "_bucket" with
+                      | Some (_, f) when f.f_type = "histogram" ->
+                          let le_v =
+                            if le_str = "+Inf" then Some infinity
+                            else float_of_string_opt le_str
+                          in
+                          let cum = int_of_float v in
+                          (match le_v with
+                          | None -> err "line %d: bad le %S" lineno le_str
+                          | Some le_v ->
+                              if le_v <= f.f_prev_le then
+                                err "line %d: le bounds not increasing" lineno
+                              else if cum < f.f_prev_cum then
+                                err "line %d: bucket counts not cumulative" lineno
+                              else begin
+                                f.f_prev_le <- le_v;
+                                f.f_prev_cum <- cum;
+                                if le_v = infinity then f.f_inf_count <- Some cum;
+                                go (lineno + 1) saw_eof rest
+                              end)
+                      | _ -> err "line %d: %S has labels but is not a histogram bucket" lineno metric)
+                  | None -> (
+                      match Hashtbl.find_opt families base with
+                      | Some f when f.f_type = "gauge" -> go (lineno + 1) saw_eof rest
+                      | Some f ->
+                          err "line %d: bare sample %S for %s family" lineno metric
+                            f.f_type
+                      | None -> (
+                          match fam "_total" with
+                          | Some (_, f) when f.f_type = "counter" ->
+                              go (lineno + 1) saw_eof rest
+                          | Some _ -> err "line %d: _total on non-counter" lineno
+                          | None -> (
+                              match fam "_sum" with
+                              | Some (_, f) when f.f_type = "histogram" ->
+                                  go (lineno + 1) saw_eof rest
+                              | Some _ | None -> (
+                                  match fam "_count" with
+                                  | Some (_, f) when f.f_type = "histogram" ->
+                                      f.f_count <- Some (int_of_float v);
+                                      if f.f_inf_count <> None
+                                         && f.f_inf_count <> f.f_count
+                                      then
+                                        err "line %d: _count disagrees with +Inf bucket"
+                                          lineno
+                                      else go (lineno + 1) saw_eof rest
+                                  | _ ->
+                                      err "line %d: sample %S matches no declared family"
+                                        lineno metric))))))
+        end
+  in
+  go 1 false lines
+
+(* ------------------------------------------------------------------ *)
+(* Terminal time-series render                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fmt_f x = if Float.is_nan x then "-" else Printf.sprintf "%.4g" x
+
+let render ?(last = 8) t ~metrics =
+  let ws = windows t in
+  let ws =
+    let n = List.length ws in
+    if n <= last then ws else List.filteri (fun i _ -> i >= n - last) ws
+  in
+  let header = "metric" :: List.map (fun w -> Printf.sprintf "t=%.4g" w.w_end) ws in
+  let rows =
+    List.map
+      (fun m ->
+        m
+        :: List.map
+             (fun w ->
+               match find w m with
+               | Some (Rate { delta; _ }) -> string_of_int delta
+               | Some (Gauge v) -> fmt_f v
+               | Some (Hist { delta; _ }) ->
+                   if Bhist.count delta = 0 then "·"
+                   else fmt_f (Bhist.percentile delta 0.99)
+               | None -> "-")
+             ws)
+      metrics
+  in
+  Tablefmt.render ~header rows

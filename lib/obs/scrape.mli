@@ -1,0 +1,92 @@
+(** Virtual-clock time-series scraper over an {!Obs} registry.
+
+    A scraper turns the registry's cumulative state into {e windows}: at
+    every {!tick} it diffs the registry against the previous tick's
+    snapshot and stores one bounded-size window of deltas — counter
+    increments (with the running total), gauge readings, and histogram
+    increments as {!Ssi_util.Bhist} sketches.  Windows live in a bounded
+    ring (oldest overwritten, overwrites counted in
+    [obs.scrape.dropped]), so a scraper's memory is
+    O(capacity × metrics × buckets) no matter how long the soak runs.
+
+    Ticking is explicit so tests can drive it by hand; {!run} schedules
+    periodic ticks on the simulation clock {e up to a horizon} — an
+    unbounded scrape loop would keep the event queue alive forever.
+
+    Consumers: {!windows} for programmatic access, {!on_tick} for
+    push-style evaluation (the SLO {!Watchdog} hangs off this),
+    {!to_jsonl} for the time-series artifact, {!openmetrics} (+
+    {!validate_openmetrics}) for Prometheus/OpenMetrics text exposition
+    of the cumulative state, and {!render} for a terminal table
+    ([pg_ssi monitor]). *)
+
+type point =
+  | Rate of { delta : int; total : int }
+      (** counter: increment this window, plus the cumulative total *)
+  | Gauge of float  (** gauge reading at the tick *)
+  | Hist of { delta : Ssi_util.Bhist.t; count : int; sum : float }
+      (** histogram: the window's increment sketch, plus cumulative
+          count/sum *)
+
+type window = {
+  w_idx : int;  (** scrape sequence number, from 0 *)
+  w_start : float;  (** previous tick's timestamp *)
+  w_end : float;  (** this tick's timestamp *)
+  w_points : (string * point) list;  (** sorted by metric name *)
+}
+
+type t
+
+val create : ?capacity:int -> Obs.t -> t
+(** A scraper over one registry; the first window starts now.
+    [capacity] bounds the ring (default 64). *)
+
+val obs : t -> Obs.t
+
+val tick : t -> unit
+(** Close the current window at the registry clock's present reading,
+    store it, advance the base snapshot, and run the {!on_tick} hooks
+    (in registration order) on the new window. *)
+
+val run : t -> interval:float -> until:float -> unit
+(** Spawn a simulation process (caller must be inside [Sim.run]) that
+    {!tick}s every [interval] virtual seconds until the virtual clock
+    reaches [until], then stops — keeping the scraper from holding the
+    simulation open. *)
+
+val on_tick : t -> (window -> unit) -> unit
+val windows : t -> window list
+(** Retained windows, oldest first. *)
+
+val produced : t -> int
+(** Total windows ever produced (≥ [List.length (windows t)]). *)
+
+val find : window -> string -> point option
+
+(** {1 Exposition} *)
+
+val to_jsonl : t -> string
+(** One JSON object per retained window: window index, bounds, and a
+    [metrics] object mapping each name to its typed point (histograms
+    carry windowed count/sum/p50/p95/p99). *)
+
+val openmetrics : Obs.t -> string
+(** The registry's cumulative state in OpenMetrics text format:
+    counters as [<name>_total], gauges verbatim, histograms as
+    cumulative [<name>_bucket{le="..."}] series (from the sketch's
+    log-bucket upper bounds) with [_sum]/[_count], dotted metric names
+    sanitized to underscores, terminated by [# EOF]. *)
+
+val validate_openmetrics : string -> (int, string) result
+(** Strict in-repo parser for the subset of OpenMetrics {!openmetrics}
+    emits: every sample must belong to a declared [# TYPE] family with a
+    legal suffix for its type, values must parse, histogram [le] bounds
+    must strictly increase and end at [+Inf] with cumulative counts
+    matching [_count], and the text must end with exactly one [# EOF].
+    Returns the number of metric families. *)
+
+val render : ?last:int -> t -> metrics:string list -> string
+(** Terminal time-series table: one row per requested metric, one
+    column per retained window (up to the [last] newest, default 8) —
+    counters show windowed increments, gauges their readings,
+    histograms the window's p99. *)

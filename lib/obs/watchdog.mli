@@ -1,0 +1,88 @@
+(** SLO watchdog: declarative alert rules over scraped windows.
+
+    A watchdog subscribes to a {!Scrape.t} and evaluates its rules
+    against every window as it closes.  Rules are pure functions of the
+    window stream, so alerts replay {e byte-identically} from a seed —
+    the rendered alert log is part of the deterministic fingerprint the
+    chaos harnesses compare across runs.
+
+    Firing is edge-triggered: a rule fires once when its condition
+    first holds (for its required number of consecutive windows) and
+    re-arms only after a window in which the condition is clear.  Every
+    firing increments [watchdog.alerts], emits a finished
+    [watchdog.alert] span (attributes: rule, kind, metric, value,
+    threshold, window) whose context is carried on the alert, and
+    appends a typed {!alert}.
+
+    The default rule catalog covers the SLOs the paper's production
+    story cares about: serialization-abort spikes per certifier,
+    replica apply-lag/staleness breaches, WAL flush stalls (appends
+    moving while flushes are not), read-fleet mark-down churn, and
+    predicate-lock summarization pressure. *)
+
+type rule =
+  | Rate_above of { name : string; metric : string; per_sec : float }
+      (** fire when a counter's windowed rate exceeds [per_sec] *)
+  | Gauge_above of { name : string; metric : string; threshold : float; windows : int }
+      (** fire when a gauge exceeds [threshold] for [windows]
+          consecutive windows *)
+  | Stall of { name : string; idle : string; busy : string; min_busy : int; windows : int }
+      (** fire when counter [busy] advances by ≥ [min_busy] per window
+          while counter [idle] does not move, for [windows] consecutive
+          windows *)
+
+val rule_name : rule -> string
+val rule_kind : rule -> string
+(** ["rate_spike"], ["slo_breach"] or ["stall"]. *)
+
+type alert = {
+  al_rule : string;
+  al_kind : string;
+  al_metric : string;
+  al_window : int;  (** window index at which the rule fired *)
+  al_ts : float;  (** that window's end timestamp *)
+  al_value : float;  (** observed rate / gauge / busy-delta *)
+  al_threshold : float;
+  al_ctx : Obs.span_ctx;  (** the emitted [watchdog.alert] span *)
+}
+
+type t
+
+val create : Scrape.t -> rule list -> t
+(** Attach to the scraper (registers an {!Scrape.on_tick} hook);
+    evaluation starts with the next tick. *)
+
+val rules : t -> rule list
+
+val alerts : t -> alert list
+(** Every firing so far, oldest first. *)
+
+val active : t -> string list
+(** Names of rules whose condition held in the latest window, sorted. *)
+
+val render_alert : alert -> string
+(** One deterministic line:
+    [\[<ts>\] <kind> <rule>: <metric>=<value> > <threshold> (window <i>)]. *)
+
+val render : t -> string
+(** All firings, one line each, newline-terminated ([""] when none). *)
+
+val default_rules :
+  ?certifier_prefix:string ->
+  ?replicas:string list ->
+  ?abort_rate:float ->
+  ?summarize_rate:float ->
+  ?lag_threshold:float ->
+  ?lag_windows:int ->
+  ?markdown_rate:float ->
+  ?stall_windows:int ->
+  unit ->
+  rule list
+(** The catalog: [abort-spike] on [engine.serialization_failures]
+    (default 200/s), [summarize-pressure] on
+    [<certifier_prefix>.summarized] (default prefix ["ssi"], 500/s),
+    [wal-flush-stall] ([wal.appends] moving, [wal.flushes] flat, 3
+    windows), [fleet-markdown-churn] on [fleet.markdowns] (default
+    2/s), and one [replica-lag:<name>] rule per name in [replicas]
+    ([replica.<name>.apply_lag] above [lag_threshold], default 50
+    commits, for [lag_windows] = 2 windows). *)

@@ -37,7 +37,15 @@ let default_policy =
    happens lazily, at the first routing decision past the deadline. *)
 type health = Healthy | Probation | Down of float
 
-type member = { m_rep : Replica.t; mutable m_health : health; mutable m_fails : int }
+(* [m_stale] mirrors the last staleness reading the routing decision
+   computed for this replica — the [fleet.staleness.<name>] gauge the
+   scrape/watchdog layer turns into a time series. *)
+type member = {
+  m_rep : Replica.t;
+  mutable m_health : health;
+  mutable m_fails : int;
+  m_stale : Obs.gauge;
+}
 
 type session = { mutable s_era : int; mutable s_cseq : int }
 
@@ -123,7 +131,8 @@ let create ?(policy = default_policy) ?(seed = 0) ~primary () =
   t
 
 let add_replica t rep =
-  t.members <- t.members @ [ { m_rep = rep; m_health = Healthy; m_fails = 0 } ];
+  let m_stale = Obs.gauge t.r_obs ("fleet.staleness." ^ Replica.name rep) in
+  t.members <- t.members @ [ { m_rep = rep; m_health = Healthy; m_fails = 0; m_stale } ];
   update_healthy_gauge t
 
 let remove_replica t rep =
@@ -244,6 +253,7 @@ let eligible t ~consistency ~tried m =
     | _ -> t.policy.max_staleness
   in
   let staleness = max 0 (t.primary_cseq - frontier_of m consistency) in
+  Obs.set_gauge m.m_stale (float_of_int staleness);
   if staleness > bound then begin
     Obs.incr t.c_too_stale;
     false

@@ -1,0 +1,160 @@
+type t = {
+  alpha : float;
+  gamma : float;
+  log_gamma : float;
+  buckets : (int, int ref) Hashtbl.t;  (* index -> count, positive values *)
+  mutable zero : int;  (* observations <= 0, counted exactly *)
+  mutable n : int;
+  mutable sum : float;
+  mutable lo : float;  (* nan while empty *)
+  mutable hi : float;
+}
+
+let create ?(accuracy = 0.01) () =
+  if not (accuracy > 0. && accuracy < 1.) then
+    invalid_arg "Bhist.create: accuracy must be in (0, 1)";
+  let gamma = (1. +. accuracy) /. (1. -. accuracy) in
+  {
+    alpha = accuracy;
+    gamma;
+    log_gamma = log gamma;
+    buckets = Hashtbl.create 64;
+    zero = 0;
+    n = 0;
+    sum = 0.;
+    lo = nan;
+    hi = nan;
+  }
+
+let accuracy t = t.alpha
+let gamma t = t.gamma
+let count t = t.n
+let zero_count t = t.zero
+let total t = t.sum
+let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+let min_value t = t.lo
+let max_value t = t.hi
+
+let index t v = int_of_float (Float.ceil (log v /. t.log_gamma))
+
+(* Midpoint estimate for bucket i, i.e. of (γ^(i-1), γ^i]: within
+   relative error α of every value the bucket can hold. *)
+let estimate t i = 2. *. exp (float_of_int i *. t.log_gamma) /. (t.gamma +. 1.)
+
+let bucket_upper t i = exp (float_of_int i *. t.log_gamma)
+
+let bump buckets i by =
+  match Hashtbl.find_opt buckets i with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace buckets i (ref by)
+
+let add t v =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  if t.n = 1 then begin
+    t.lo <- v;
+    t.hi <- v
+  end
+  else begin
+    if v < t.lo then t.lo <- v;
+    if v > t.hi then t.hi <- v
+  end;
+  if v <= 0. then t.zero <- t.zero + 1 else bump t.buckets (index t v) 1
+
+let buckets t =
+  Hashtbl.fold (fun i r acc -> (i, !r) :: acc) t.buckets []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+  |> List.filter (fun (_, c) -> c > 0)
+
+let bucket_count t = (if t.zero > 0 then 1 else 0) + List.length (buckets t)
+
+let percentile t p =
+  if t.n = 0 then nan
+  else begin
+    let p = Float.max 0. (Float.min 1. p) in
+    let rank = Stdlib.max 1 (int_of_float (Float.ceil (p *. float_of_int t.n))) in
+    let rank = Stdlib.min rank t.n in
+    if rank <= t.zero then Stdlib.min t.lo 0.
+    else begin
+      let cum = ref t.zero and result = ref t.hi in
+      (try
+         List.iter
+           (fun (i, c) ->
+             cum := !cum + c;
+             if !cum >= rank then begin
+               result := estimate t i;
+               raise Exit
+             end)
+           (buckets t)
+       with Exit -> ());
+      (* The estimate is already within α of the true value; clamping to
+         the exact observed range only ever tightens it. *)
+      Stdlib.min t.hi (Stdlib.max t.lo !result)
+    end
+  end
+
+let copy t =
+  let buckets = Hashtbl.create (Stdlib.max 16 (Hashtbl.length t.buckets)) in
+  Hashtbl.iter (fun i r -> Hashtbl.replace buckets i (ref !r)) t.buckets;
+  { t with buckets }
+
+let same_accuracy op a b =
+  if a.alpha <> b.alpha then
+    invalid_arg
+      (Printf.sprintf "Bhist.%s: accuracy mismatch (%g vs %g)" op a.alpha b.alpha)
+
+let merge a b =
+  same_accuracy "merge" a b;
+  let r = copy a in
+  Hashtbl.iter (fun i c -> bump r.buckets i !c) b.buckets;
+  r.zero <- a.zero + b.zero;
+  r.n <- a.n + b.n;
+  r.sum <- a.sum +. b.sum;
+  (if b.n > 0 then
+     if a.n = 0 then begin
+       r.lo <- b.lo;
+       r.hi <- b.hi
+     end
+     else begin
+       r.lo <- Stdlib.min a.lo b.lo;
+       r.hi <- Stdlib.max a.hi b.hi
+     end);
+  r
+
+let diff ~cur ~base =
+  same_accuracy "diff" cur base;
+  let r = create ~accuracy:cur.alpha () in
+  let under i =
+    invalid_arg (Printf.sprintf "Bhist.diff: base exceeds cur in bucket %d" i)
+  in
+  Hashtbl.iter
+    (fun i c ->
+      let b = match Hashtbl.find_opt base.buckets i with Some r -> !r | None -> 0 in
+      if b > !c then under i;
+      if !c - b > 0 then Hashtbl.replace r.buckets i (ref (!c - b)))
+    cur.buckets;
+  Hashtbl.iter
+    (fun i c -> if !c > 0 && not (Hashtbl.mem cur.buckets i) then under i)
+    base.buckets;
+  if base.zero > cur.zero then under 0;
+  r.zero <- cur.zero - base.zero;
+  r.n <- cur.n - base.n;
+  if r.n < 0 then invalid_arg "Bhist.diff: base has more observations than cur";
+  r.sum <- cur.sum -. base.sum;
+  (* Window extremes are not recoverable from cumulative state: answer
+     bucket-resolution bounds (exact 0/cur.lo for the zero bucket). *)
+  if r.n > 0 then begin
+    let occupied = buckets r in
+    let lo =
+      if r.zero > 0 then Stdlib.min cur.lo 0.
+      else match occupied with (i, _) :: _ -> estimate r i | [] -> cur.lo
+    in
+    let hi =
+      match List.rev occupied with
+      | (i, _) :: _ -> Stdlib.min cur.hi (bucket_upper r i)
+      | [] -> Stdlib.min cur.hi 0.
+    in
+    r.lo <- lo;
+    r.hi <- Stdlib.max lo hi
+  end;
+  r

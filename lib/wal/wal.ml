@@ -364,12 +364,14 @@ type t = {
   mutable c_appends : Obs.counter;
   mutable c_flushes : Obs.counter;
   mutable h_group : Obs.histogram;
+  mutable g_pending : Obs.gauge;
 }
 
 let register obs t =
   t.c_appends <- Obs.counter obs "wal.appends";
   t.c_flushes <- Obs.counter obs "wal.flushes";
-  t.h_group <- Obs.histogram obs "wal.group_commit_size"
+  t.h_group <- Obs.histogram obs "wal.group_commit_size";
+  t.g_pending <- Obs.gauge obs "wal.pending_records"
 
 let create ?obs ?(flush_interval = 0.) () =
   let obs = match obs with Some o -> o | None -> Obs.create () in
@@ -386,6 +388,7 @@ let create ?obs ?(flush_interval = 0.) () =
       c_appends = Obs.counter obs "wal.appends";
       c_flushes = Obs.counter obs "wal.flushes";
       h_group = Obs.histogram obs "wal.group_commit_size";
+      g_pending = Obs.gauge obs "wal.pending_records";
     }
   in
   t
@@ -406,6 +409,7 @@ let flush t =
     Obs.observe t.h_group (float_of_int t.pending_count);
     Buffer.clear t.pending;
     t.pending_count <- 0;
+    Obs.set_gauge t.g_pending 0.;
     Waitq.wake_all t.flush_wq
   end
 
@@ -421,6 +425,7 @@ let append t r =
   Buffer.add_buffer t.pending (frame (encode_record r));
   t.pending_count <- t.pending_count + 1;
   Obs.incr t.c_appends;
+  Obs.set_gauge t.g_pending (float_of_int t.pending_count);
   let lsn = Buffer.length t.durable + Buffer.length t.pending in
   if t.interval <= 0. || not (Sim.running ()) then flush t
   else if not t.flush_scheduled then begin

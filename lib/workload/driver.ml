@@ -130,7 +130,7 @@ type window = {
   w_ssi_summarized : int;
   w_ssi_safe : int;
   w_ssi_conflicts : int;
-  w_latencies : float array;
+  w_latencies : Bhist.t;
   w_abort_reasons : (string * int) list;
 }
 
@@ -165,7 +165,7 @@ let close_window ~certifier obs base =
     w_ssi_summarized = d (p ^ ".summarized");
     w_ssi_safe = d (p ^ ".safe_snapshots");
     w_ssi_conflicts = d (p ^ ".conflicts");
-    w_latencies = Obs.delta_values obs base "driver.txn_latency";
+    w_latencies = Obs.delta_hist obs base "driver.txn_latency";
     w_abort_reasons = abort_reasons;
   }
 
@@ -301,7 +301,7 @@ let run ~setup ~specs bench =
   in
   let failures = w.w_failures in
   let denom = float_of_int (!committed + failures) in
-  let pct p = Stats.percentile_nearest_of w.w_latencies p in
+  let pct p = Bhist.percentile w.w_latencies p in
   {
     committed = !committed;
     failures;
@@ -322,10 +322,7 @@ let run ~setup ~specs bench =
       (if !committed > 0 then
          1. +. (float_of_int w.w_retries /. float_of_int !committed)
        else 0.);
-    latency_mean =
-      (let n = Array.length w.w_latencies in
-       if n = 0 then nan
-       else Array.fold_left ( +. ) 0. w.w_latencies /. float_of_int n);
+    latency_mean = Bhist.mean w.w_latencies;
     latency_p50 = pct 0.5;
     latency_p95 = pct 0.95;
     latency_p99 = pct 0.99;

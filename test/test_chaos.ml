@@ -72,6 +72,7 @@ type outcome = {
   summarized : int;
   retries : int;
   giveups : int;
+  alerts : string list;  (** rendered SLO-watchdog firings, must replay *)
 }
 
 (* Retry policy with real (virtual-time) backoff, so giving the workload
@@ -182,8 +183,19 @@ let run_plan cfg =
   in
   let done_workers = ref 0 in
   let all_done = Ssi_util.Waitq.create () in
+  (* Always-on telemetry over the whole plan: scrape windows a fraction of
+     the horizon so lag spikes and abort bursts land inside them; the
+     thresholds are tuned to this harness's tiny virtual scale. *)
+  let watchdog = ref None in
   ignore
     (Sim.run (fun () ->
+         let scrape = Ssi_obs.Scrape.create ~capacity:64 (E.obs db) in
+         watchdog :=
+           Some
+             (Ssi_obs.Watchdog.create scrape
+                (Ssi_obs.Watchdog.default_rules ~replicas:[ R.name replica ]
+                   ~lag_threshold:1.5 ~lag_windows:2 ~abort_rate:100. ()));
+         Ssi_obs.Scrape.run scrape ~interval:(horizon /. 20.) ~until:(horizon *. 2.5);
          E.create_table db ~name:table ~cols:[ "k"; "writer" ] ~key:"k";
          E.with_txn db (fun t ->
              (* The oracle treats xid 1 as the seed writer. *)
@@ -241,6 +253,11 @@ let run_plan cfg =
     summarized = !summarized;
     retries = !retries;
     giveups = !giveups;
+    alerts =
+      (match !watchdog with
+      | Some wd ->
+          List.map Ssi_obs.Watchdog.render_alert (Ssi_obs.Watchdog.alerts wd)
+      | None -> []);
   }
 
 (* Replay the committed history (in commit-sequence order) up to [horizon]:
@@ -297,13 +314,24 @@ let comparable o =
       (fun (t : Oracle.committed) -> (t.Oracle.xid, t.Oracle.order, t.Oracle.reads, t.Oracle.writes))
       o.history.Oracle.committed,
     o.final_rows,
-    o.injected )
+    o.injected,
+    o.alerts )
 
 (* Aggregated across all plans, checked last: the perturbations really
    fired (plans are tuned so each fault class triggers somewhere). *)
 let total_injected = ref 0
 let total_summarized = ref 0
 let total_retries = ref 0
+let alert_kinds_seen : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let record_alert_kinds o =
+  List.iter
+    (fun line ->
+      (* "[<ts>] <kind> <rule>: ..." *)
+      match String.split_on_char ' ' line with
+      | _ :: kind :: _ -> Hashtbl.replace alert_kinds_seen kind ()
+      | _ -> ())
+    o.alerts
 
 let plan_case cfg =
   let name =
@@ -322,7 +350,8 @@ let plan_case cfg =
         (comparable o1 = comparable o2);
       total_injected := !total_injected + o1.injected;
       total_summarized := !total_summarized + o1.summarized;
-      total_retries := !total_retries + o1.retries)
+      total_retries := !total_retries + o1.retries;
+      record_alert_kinds o1)
 
 let plans =
   List.map (fun seed -> { base_cfg with seed; crashes = 2 }) [ 101; 102; 103; 104; 105 ]
@@ -346,7 +375,16 @@ let sanity_case =
   Alcotest.test_case "fault classes all fired across the sweep" `Quick (fun () ->
       Alcotest.(check bool) "transient faults were injected" true (!total_injected > 0);
       Alcotest.(check bool) "memory pressure forced summarization" true (!total_summarized > 0);
-      Alcotest.(check bool) "workers retried through faults" true (!total_retries > 0))
+      Alcotest.(check bool) "workers retried through faults" true (!total_retries > 0);
+      (* The SLO watchdog saw the sweep too: both the rate-spike and the
+         gauge-breach alert families fired somewhere (each plan's alert
+         log also replayed byte-identically above, as part of
+         [comparable]). *)
+      let kinds = List.sort compare (Hashtbl.fold (fun k () l -> k :: l) alert_kinds_seen []) in
+      Alcotest.(check bool)
+        (Printf.sprintf "watchdog alert kinds fired: [%s]" (String.concat "; " kinds))
+        true
+        (List.mem "rate_spike" kinds && List.mem "slo_breach" kinds))
 
 let () =
   Alcotest.run "chaos"

@@ -157,6 +157,55 @@ let test_oldserxid_bounded () =
   E.with_txn db (fun t -> ignore (E.read t ~table:"kv" ~key:(vi 1)));
   Alcotest.(check int) "oldserxid drained once idle" 0 (Ssi.oldserxid_size (E.ssi db))
 
+(* ---- Bounded histograms (telemetry memory, §6 in spirit) ------------------ *)
+
+module Obs = Ssi_obs.Obs
+module Bhist = Ssi_util.Bhist
+
+(* The always-on telemetry must not be its own memory-usage problem: a
+   log-bucketed histogram's footprint is O(buckets), a function of the
+   value range and accuracy — never of the observation count.  Growing a
+   latency histogram from 100k to 1M observations must leave both the
+   bucket count and the reachable heap words essentially flat. *)
+let test_histogram_memory_bounded () =
+  let obs = Obs.create () in
+  let h = Obs.histogram obs "lat" in
+  let rng = Ssi_util.Rng.make 11 in
+  (* Six decades of latency values: 100ns .. 0.1s. *)
+  let observe_many n =
+    for _ = 1 to n do
+      let decade = Ssi_util.Rng.int rng 6 in
+      let v = 1e-7 *. (10. ** float_of_int decade) *. (1. +. Ssi_util.Rng.float rng 9.) in
+      Obs.observe h v
+    done
+  in
+  observe_many 100_000;
+  let sketch = Obs.histogram_hist h in
+  let buckets_100k = Bhist.bucket_count sketch in
+  let words_100k = Obj.reachable_words (Obj.repr sketch) in
+  observe_many 900_000;
+  let buckets_1m = Bhist.bucket_count sketch in
+  let words_1m = Obj.reachable_words (Obj.repr sketch) in
+  Alcotest.(check int) "count" 1_000_000 (Bhist.count sketch);
+  (* log_gamma(1e6 value range) ≈ 690 buckets at alpha = 0.01; leave
+     headroom but stay orders of magnitude under the sample count. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "bucket count bounded (%d)" buckets_1m)
+    true (buckets_1m <= 1200);
+  Alcotest.(check bool)
+    (Printf.sprintf "buckets saturate, not grow (%d -> %d)" buckets_100k buckets_1m)
+    true
+    (buckets_1m - buckets_100k < buckets_100k / 2);
+  Alcotest.(check bool)
+    (Printf.sprintf "heap words flat under 10x observations (%d -> %d)" words_100k
+       words_1m)
+    true
+    (float_of_int words_1m <= 1.5 *. float_of_int words_100k);
+  (* And the percentiles still honor the accuracy contract at that size. *)
+  let p99 = Bhist.percentile sketch 0.99 in
+  Alcotest.(check bool) "p99 inside the observed range" true
+    (p99 >= Bhist.min_value sketch && p99 <= Bhist.max_value sketch)
+
 let () =
   Alcotest.run "memory"
     [
@@ -180,5 +229,10 @@ let () =
           Alcotest.test_case "bounds lock count" `Quick test_lock_promotion_bounds_memory;
           Alcotest.test_case "conflicts survive promotion" `Quick
             test_promoted_locks_still_detect_conflicts;
+        ] );
+      ( "bounded telemetry",
+        [
+          Alcotest.test_case "histogram memory O(buckets)" `Quick
+            test_histogram_memory_bounded;
         ] );
     ]

@@ -285,6 +285,48 @@ let test_harness_seed_matrix () =
       check_clean (Readfleet.run cfg) (Printf.sprintf "seed %d" seed))
     [ 2; 3; 7 ]
 
+(* The harness runs the SLO watchdog over an always-on scrape; under the
+   default fault plan (lag spikes + mark-downs) distinct alert kinds must
+   fire, deterministically: the rendered alert log is part of the
+   fingerprint, so replay equality covers it byte for byte. *)
+let test_harness_watchdog_alerts () =
+  let has_prefix ~prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let kind_of line =
+    (* "[<ts>] <kind> <rule>: ..." *)
+    match String.split_on_char ' ' line with _ :: k :: _ -> k | _ -> line
+  in
+  let alerts_for seed =
+    let o = Readfleet.run { Readfleet.default_cfg with Readfleet.seed } in
+    o.Readfleet.alerts
+  in
+  let all = List.concat_map alerts_for [ 1; 4 ] in
+  Alcotest.(check bool) "alerts fired" true (all <> []);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (l ^ ": starts with timestamp") true (has_prefix ~prefix:"[" l))
+    all;
+  let kinds = List.sort_uniq String.compare (List.map kind_of all) in
+  Alcotest.(check (list string)) "rate and gauge kinds both fire"
+    [ "rate_spike"; "slo_breach" ] kinds;
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  Alcotest.(check bool) "markdown churn alerted" true
+    (List.exists (contains "fleet-markdown-churn") all);
+  Alcotest.(check bool) "replica lag alerted" true
+    (List.exists (contains "replica-lag:") all);
+  Alcotest.(check bool) "abort spike alerted" true
+    (List.exists (contains "abort-spike") all);
+  (* Determinism, asserted directly on the alert log (the fingerprint
+     already covers it, but a diff here reads better on failure). *)
+  Alcotest.(check (list string)) "alert log replays byte-identically"
+    (alerts_for 1) (alerts_for 1)
+
 let test_harness_no_failover () =
   let cfg =
     { Readfleet.default_cfg with Readfleet.seed = 11; failover = false; txns_per_worker = 30 }
@@ -318,6 +360,7 @@ let () =
         [
           Alcotest.test_case "acceptance" `Quick test_harness_acceptance;
           Alcotest.test_case "deterministic replay" `Quick test_harness_determinism;
+          Alcotest.test_case "watchdog alerts" `Quick test_harness_watchdog_alerts;
           Alcotest.test_case "seed matrix" `Quick test_harness_seed_matrix;
           Alcotest.test_case "no failover" `Quick test_harness_no_failover;
         ] );

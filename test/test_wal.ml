@@ -157,6 +157,47 @@ let test_group_commit_batches () =
          Alcotest.(check int) "pending drained" 0 (Wal.pending_size w)));
   Alcotest.(check int) "all five records durable" 5 (List.length (fst (Wal.read_all w)))
 
+(* The SLO watchdog's stall rule against a real group-commit WAL: appends
+   keep moving while the flush timer (an interval far beyond the scrape
+   window) has not fired yet — exactly the wal-flush-stall shape.  The
+   whole scenario runs on the virtual clock, so the alert log is a pure
+   function of the code and replays byte-identically. *)
+let test_watchdog_flush_stall () =
+  let module Scrape = Ssi_obs.Scrape in
+  let module Watchdog = Ssi_obs.Watchdog in
+  let run () =
+    let obs = Obs.create () in
+    let w = Wal.create ~obs ~flush_interval:8e-3 () in
+    let lines = ref [] in
+    ignore
+      (Sim.run (fun () ->
+           Obs.set_clock obs Sim.now;
+           let s = Scrape.create ~capacity:32 obs in
+           let wd = Watchdog.create s (Watchdog.default_rules ()) in
+           Scrape.run s ~interval:1e-3 ~until:12e-3;
+           Sim.spawn (fun () ->
+               for i = 1 to 10 do
+                 ignore (Wal.append w (Wal.Epoch i));
+                 Sim.delay 1e-3
+               done);
+           Sim.at ~after:12.5e-3 (fun () ->
+               lines := List.map Watchdog.render_alert (Watchdog.alerts wd))));
+    !lines
+  in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  let a = run () in
+  Alcotest.(check bool) "stall fired" true (a <> []);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (l ^ ": is a wal-flush-stall") true
+        (contains "stall wal-flush-stall" l))
+    a;
+  Alcotest.(check (list string)) "byte-identical replay" a (run ())
+
 let test_unflushed_commit_not_acked () =
   (* A committer whose flush is destroyed must see Lost, not an ack — even
      when damage deposits its (mangled) bytes on the device. *)
@@ -333,6 +374,8 @@ let () =
         [
           Alcotest.test_case "batched flush" `Quick test_group_commit_batches;
           Alcotest.test_case "lost flush not acked" `Quick test_unflushed_commit_not_acked;
+          Alcotest.test_case "watchdog flush-stall alert" `Quick
+            test_watchdog_flush_stall;
         ] );
       ( "recovery",
         [
