@@ -12,6 +12,7 @@
      pg_ssi trace <sibench|tpcc|rubis>    -- run, then dump trace events as JSONL
      pg_ssi explain <sibench|tpcc|rubis>  -- run, then explain every certifier abort
      pg_ssi chaos [--kill-points N]       -- seeded fault plan, or recovery torture
+     pg_ssi chaos --shards N              -- cross-shard 2PC chaos + spliced-DSG oracle
      pg_ssi recover <FILE>                -- cold-start from a durable-log image
      pg_ssi sql [-f FILE]                 -- SQL shell on a fresh in-memory database
 
@@ -463,11 +464,34 @@ let run_readfleet seed fleet read_mix workers failover partitions net_chaos =
   in
   if ok then 0 else 1
 
+let run_sharded seed shards workers partitions net_chaos =
+  let module S = Ssi_harness.Sharded in
+  let cfg =
+    {
+      S.default_cfg with
+      S.seed;
+      shards;
+      workers;
+      partitions = (if partitions = 0 then S.default_cfg.S.partitions else partitions);
+      net_chaos = (if net_chaos = 0 then S.default_cfg.S.net_chaos else net_chaos);
+    }
+  in
+  Format.printf "sharded chaos seed=%d shards=%d workers=%d partitions=%d net-chaos=%d@."
+    seed shards cfg.S.workers cfg.S.partitions cfg.S.net_chaos;
+  let o = S.run cfg in
+  Format.printf "%a" S.pp_outcome o;
+  let o2 = S.run cfg in
+  let identical = S.fingerprint o = S.fingerprint o2 in
+  Format.printf "replay: %s@."
+    (if identical then "byte-identical" else "DIVERGED from the first run");
+  if o.S.violation = None && identical then 0 else 1
+
 let run_chaos seed cert_str duration workers failover replicas quorum partitions net_chaos
     explain trace_out trace_capacity kill_points kill_every torn_writes wal_out read_fleet
-    read_mix alerts scrape_out metrics_out =
+    read_mix shards alerts scrape_out metrics_out =
   let certifier = certifier_of_string cert_str in
   if kill_points > 0 then run_torture seed certifier kill_points kill_every torn_writes wal_out
+  else if shards > 0 then run_sharded seed shards workers partitions net_chaos
   else if read_fleet > 0 then
     (* The read-fleet harness runs its own always-on scraper and
        watchdog; its alerts are part of the printed outcome (and of the
@@ -516,7 +540,7 @@ let run_chaos seed cert_str duration workers failover replicas quorum partitions
          hook; network events in the plan are logged as skipped. *)
       let r = Replica.attach db in
       replica := Some r;
-      let target = { F.engine = db; injector = Some injector; replica = Some r; fleet = []; net = None } in
+      let target = { F.engine = db; injector = Some injector; replica = Some r; fleet = []; net = None; net_ops = None } in
       let observer phase (ev : F.event) =
         match (phase, ev.F.kind) with
         | `After, F.Failover -> promoted := Some (Replica.promote r ~primary:db `Latest_safe)
@@ -538,7 +562,7 @@ let run_chaos seed cert_str duration workers failover replicas quorum partitions
             Stream.subscribe n ~node:name ~primary_node:"p" ~epoch:1 core)
       in
       streamed := subs;
-      let target = { F.engine = db; injector = Some injector; replica = None; fleet = []; net = Some n } in
+      let target = { F.engine = db; injector = Some injector; replica = None; fleet = []; net = Some n; net_ops = None } in
       let observer phase (ev : F.event) =
         match (phase, ev.F.kind) with
         | `After, F.Failover -> (
@@ -940,6 +964,17 @@ let chaos_cmd =
              ~doc:"With $(b,--read-fleet): fraction of client transactions that are reads"
              ~docv:"F")
   in
+  let shards_arg =
+    Arg.(value & opt int 0
+         & info [ "shards" ]
+             ~doc:
+               "Sharded chaos: hash-partition one table across $(docv) engines behind the \
+                2PC coordinator, drive multi-shard transactions under partitions, message \
+                chaos and participant crashes (one of each unless overridden), check the \
+                combined multi-shard history with the spliced-DSG oracle, and verify \
+                byte-identical replay (0 = off)"
+             ~docv:"N")
+  in
   let alerts_arg =
     Arg.(value & flag
          & info [ "alerts" ]
@@ -973,8 +1008,8 @@ let chaos_cmd =
       const run_chaos $ seed_arg $ certifier_arg $ duration_arg $ workers_arg $ failover_arg
       $ replicas_arg $ quorum_arg $ partitions_arg $ net_chaos_arg $ explain_arg
       $ trace_out_arg $ trace_capacity_arg $ kill_points_arg $ kill_every_arg
-      $ torn_writes_arg $ wal_out_arg $ read_fleet_arg $ read_mix_arg $ alerts_arg
-      $ scrape_out_arg $ metrics_out_arg)
+      $ torn_writes_arg $ wal_out_arg $ read_fleet_arg $ read_mix_arg $ shards_arg
+      $ alerts_arg $ scrape_out_arg $ metrics_out_arg)
 
 let recover_cmd =
   let file_arg =

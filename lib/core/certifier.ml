@@ -63,6 +63,7 @@ type t = {
   note_write : node -> unit;
   prepare : node -> unit;
   restore_prepared : node -> unit;
+  mark_conservative : node -> unit;
   precommit : node -> unit;
   committed : node -> commit_cseq:cseq -> unit;
   aborted : node -> unit;
@@ -135,6 +136,7 @@ let make_ssi ~config ~obs clog =
     note_write = (fun n -> Ssi.note_write (un n));
     prepare = (fun n -> Ssi.prepare s (un n));
     restore_prepared = (fun n -> Ssi.restore_prepared s (un n));
+    mark_conservative = (fun n -> Ssi.mark_conservative s (un n));
     precommit = (fun n -> Ssi.precommit s (un n));
     committed = (fun n ~commit_cseq -> Ssi.committed s (un n) ~commit_cseq);
     aborted = (fun n -> Ssi.aborted s (un n));
@@ -199,6 +201,7 @@ let make_ssn ~kind ~(s : Ssn.t) () =
     note_write = (fun n -> Ssn.note_write (un n));
     prepare = (fun n -> Ssn.prepare s (un n));
     restore_prepared = (fun n -> Ssn.restore_prepared s (un n));
+    mark_conservative = (fun n -> Ssn.mark_conservative s (un n));
     precommit = (fun n -> Ssn.precommit s (un n));
     committed = (fun n ~commit_cseq -> Ssn.committed s (un n) ~commit_cseq);
     aborted = (fun n -> Ssn.aborted s (un n));
@@ -244,3 +247,27 @@ let make kind ?(config = Ssi.default_config) ?(obs = Obs.create ()) clog =
   | SSI -> make_ssi ~config ~obs clog
   | SSN -> make_ssn ~kind:SSN ~s:(Ssn.create ~config ~obs ~extended:false clog) ()
   | ESSN -> make_ssn ~kind:ESSN ~s:(Essn.create ~config ~obs clog) ()
+
+(* ---- Cross-node conflict summaries --------------------------------------------- *)
+
+type conflict_summary = {
+  cs_xid : Heap.xid;
+  cs_in_conflict : bool;
+  cs_out_conflict : bool;
+  cs_conservative : bool;
+}
+
+let conflict_summary t ~xid =
+  match
+    List.find_opt (fun i -> i.Ssi.info_xid = xid) (t.dump_graph ())
+  with
+  | Some i ->
+      {
+        cs_xid = xid;
+        cs_in_conflict = i.Ssi.info_in <> [] || i.Ssi.info_conservative_in;
+        cs_out_conflict = i.Ssi.info_out <> [] || i.Ssi.info_conservative_out;
+        cs_conservative = i.Ssi.info_conservative_in || i.Ssi.info_conservative_out;
+      }
+  | None ->
+      (* Summarized away: all we know is the §7.1 conservative bound. *)
+      { cs_xid = xid; cs_in_conflict = true; cs_out_conflict = true; cs_conservative = true }

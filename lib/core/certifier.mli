@@ -63,6 +63,11 @@ type t = {
   note_write : node -> unit;
   prepare : node -> unit;
   restore_prepared : node -> unit;
+  mark_conservative : node -> unit;
+      (** Set the §7.1 conservative both-ways conflict flags on a live
+          prepared transaction — distributed 2PC, where remote edges are
+          invisible to this instance during the coordinator's decision
+          window. *)
   precommit : node -> unit;
   committed : node -> commit_cseq:cseq -> unit;
   aborted : node -> unit;
@@ -107,3 +112,27 @@ val make :
 (** Build the certifier instance.  The closures are created once per
     engine; per-call overhead over direct [Ssi.*] calls is one indirect
     call. *)
+
+(** {1 Cross-node conflict summaries}
+
+    The per-transaction digest a distributed coordinator needs to run the
+    dangerous-structure test across certifier instances that share no
+    memory (paper §5.7 applied to sharding): has the transaction an
+    rw-antidependency in, one out, and is that knowledge exact or the
+    conservative both-ways approximation left behind by crash recovery or
+    summarization? *)
+
+type conflict_summary = {
+  cs_xid : Heap.xid;
+  cs_in_conflict : bool;  (** some reader has an rw edge into this txn *)
+  cs_out_conflict : bool;  (** this txn has an rw edge out to some writer *)
+  cs_conservative : bool;
+      (** The flags are §7.1 conservative bits (2PC recovery, or a conflict
+          partner was summarized), not identified edges: the coordinator
+          must treat both directions as set. *)
+}
+
+val conflict_summary : t -> xid:Heap.xid -> conflict_summary
+(** Derived from {!field-dump_graph}; a transaction the certifier no longer
+    tracks (already summarized away) reports the fully conservative
+    summary. *)

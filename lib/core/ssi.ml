@@ -994,6 +994,17 @@ let prepare t node =
   precommit t node;
   node.status <- Prepared
 
+let mark_conservative _t node =
+  (* A live prepared transaction whose conflict state is split across
+     certifier instances (distributed 2PC): while the coordinator
+     deliberates, edges can keep forming here against remote edges this
+     instance cannot see.  Setting the §7.1 flags makes every such new
+     edge conservatively dangerous, so the edge-former gives way — the
+     same degradation crash recovery applies, but during the live decision
+     window. *)
+  node.conservative_in <- true;
+  node.conservative_out <- true
+
 let restore_prepared _t node =
   (* Cold-start recovery of a prepared 2PC transaction (§7.1): the
      dependency graph did not survive the crash, so the freshly registered
@@ -1047,6 +1058,8 @@ type node_info = {
   info_commit_cseq : cseq option;
   info_in : Heap.xid list;
   info_out : Heap.xid list;
+  info_conservative_in : bool;
+  info_conservative_out : bool;
 }
 
 let node_info n =
@@ -1064,6 +1077,8 @@ let node_info n =
     info_commit_cseq = (if n.status = Committed then Some n.commit_cseq else None);
     info_in = List.map (fun x -> x.xid) (in_readers n);
     info_out = List.map (fun x -> x.xid) (out_writers n);
+    info_conservative_in = n.conservative_in;
+    info_conservative_out = n.conservative_out;
   }
 
 let dump_graph t =

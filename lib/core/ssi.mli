@@ -99,6 +99,13 @@ val restore_prepared : t -> node -> unit
     both-ways conflict flags of §7.1.  The caller reinstalls its persisted
     SIREAD locks via {!locks}. *)
 
+val mark_conservative : t -> node -> unit
+(** Set the §7.1 conservative both-ways conflict flags on a live (already
+    {!prepare}d) transaction.  Used by distributed 2PC: some of the
+    transaction's rw-antidependencies live on other certifier instances,
+    so while the coordinator deliberates, local transactions forming new
+    edges with it must give way as if it had crashed and recovered. *)
+
 val precommit : t -> node -> unit
 (** The commit-time serialization-failure check (§5.4 rule 1): raises if
     committing now would complete a dangerous structure that cannot be
@@ -183,6 +190,12 @@ type node_info = {
   info_commit_cseq : cseq option;
   info_in : Heap.xid list;  (** readers with an edge into this transaction *)
   info_out : Heap.xid list;
+  info_conservative_in : bool;
+      (** The in-conflict flag is the §7.1 conservative bit (set by 2PC
+          crash recovery, or when a conflict partner was summarized) rather
+          than an identified edge — a distributed coordinator must treat
+          the flag as set. *)
+  info_conservative_out : bool;
 }
 
 val dump_graph : t -> node_info list

@@ -540,6 +540,14 @@ let prepare t node =
   then fail t node "rw conflict with a prepared transaction";
   node.status <- Prepared
 
+let mark_conservative _t node =
+  (* Distributed 2PC: remote rw edges are invisible here, so close the
+     window for the live prepared transaction exactly as restore_prepared
+     does after a crash — every later edge-former gives way. *)
+  node.wrote <- true;
+  node.pstamp <- 0;
+  node.sstamp <- 0
+
 let restore_prepared _t node =
   (* Cold-start recovery of an in-doubt 2PC transaction: its stamps did not
      survive the crash.  [pstamp = sstamp = 0] is the conservative
@@ -648,6 +656,12 @@ let node_info n =
     info_commit_cseq = (if n.status = Committed then Some n.commit_cseq else None);
     info_in = List.rev_map (fun r -> r.xid) n.in_readers;
     info_out = List.rev_map (fun w -> w.xid) n.out_writers;
+    (* SSN's conservative state after restore_prepared is the closed stamp
+       window [pstamp = sstamp = 0]: report it as both-ways conservative so
+       a distributed coordinator treats the restored txn as a §7.1 pivot
+       candidate, exactly like the SSI backend. *)
+    info_conservative_in = (n.status = Prepared && n.pstamp = 0 && n.sstamp = 0);
+    info_conservative_out = (n.status = Prepared && n.pstamp = 0 && n.sstamp = 0);
   }
 
 let dump_graph t =

@@ -68,6 +68,11 @@ val restore_prepared : t -> node -> unit
     forms an rw edge with it gives way, generalizing the paper's §7.1
     both-ways conflict flags. *)
 
+val mark_conservative : t -> node -> unit
+(** Close the window of a live prepared transaction (distributed 2PC):
+    its remote rw edges are invisible to this instance, so treat it as
+    {!restore_prepared} would. *)
+
 val precommit : t -> node -> unit
 (** The commit-time exclusion check, plus the prepared-peer gates: raises
     if committing would close this window or a prepared transaction's. *)

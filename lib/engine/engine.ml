@@ -267,7 +267,12 @@ let ssi t =
            (Certifier.kind_to_string t.cert.Certifier.kind))
 
 let active_transactions t = Hashtbl.length t.active
-let table_names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
+
+(* Sorted: [Hashtbl.fold] order depends on insertion history and hashing,
+   and this list feeds checkpoint images, recovery reports and coordinator
+   scans that must be byte-identical across runs of the same seed. *)
+let table_names t =
+  List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [])
 
 
 (* ---- Cost accounting ----------------------------------------------------- *)
@@ -1312,9 +1317,12 @@ let wal_append_commit db txn cseq ~gid =
 (* The SIREAD locks held by [xid], straight from the predicate-lock table —
    what PostgreSQL persists in the 2PC state file (§5.7). *)
 let siread_targets db xid =
-  List.filter_map
-    (fun (target, holders, _) -> if List.mem xid holders then Some target else None)
-    (Predlock.dump db.cert.Certifier.locks)
+  (* Sorted: [Predlock.dump] iterates a hash table, and these targets are
+     persisted verbatim in 2PC state records and checkpoint images. *)
+  List.sort compare
+    (List.filter_map
+       (fun (target, holders, _) -> if List.mem xid holders then Some target else None)
+       (Predlock.dump db.cert.Certifier.locks))
 
 let prepared_image_of db txn gid =
   {
@@ -1482,7 +1490,56 @@ let rollback_prepared db ~gid =
       in
       wal_wait db w lsn
 
-let prepared_gids db = Hashtbl.fold (fun gid _ acc -> gid :: acc) db.prepared_by_gid []
+(* Sorted by gid for the same reason as [table_names]: recovery output and
+   coordinator recovery scans iterate this list and must not depend on
+   hash-table order. *)
+let prepared_gids db =
+  List.sort compare (Hashtbl.fold (fun gid _ acc -> gid :: acc) db.prepared_by_gid [])
+
+type prepared_summary = {
+  ps_gid : string;
+  ps_xid : int;
+  ps_snap_cseq : int;
+  ps_in_conflict : bool;
+  ps_out_conflict : bool;
+  ps_conservative : bool;
+  ps_siread_digest : string;
+}
+
+(* Distributed 2PC: some of the prepared transaction's rw edges live on
+   other shards' certifiers.  Closing the local window with the §7.1
+   conservative flags makes every transaction that forms a new edge with
+   it during the coordinator's decision window give way.  Call this AFTER
+   taking {!prepared_summary}: the summary must report the exact state at
+   prepare time, not the conservatism added here. *)
+let mark_prepared_conservative db ~gid =
+  let txn = prepared_txn db gid in
+  match txn.sxact with
+  | Some node -> db.cert.Certifier.mark_conservative node
+  | None -> ()
+
+let prepared_summary db ~gid =
+  let txn = prepared_txn db gid in
+  let cs = Certifier.conflict_summary db.cert ~xid:txn.txn_xid in
+  let digest =
+    (* [siread_targets] is sorted, so the digest is canonical for a given
+       SIREAD footprint and comparable across shards and runs. *)
+    Digest.to_hex
+      (Digest.string
+         (String.concat "|"
+            (List.map
+               (fun t -> Format.asprintf "%a" Predlock.pp_target t)
+               (siread_targets db txn.txn_xid))))
+  in
+  {
+    ps_gid = gid;
+    ps_xid = txn.txn_xid;
+    ps_snap_cseq = txn.snapshot.Snapshot.horizon;
+    ps_in_conflict = cs.Certifier.cs_in_conflict;
+    ps_out_conflict = cs.Certifier.cs_out_conflict;
+    ps_conservative = cs.Certifier.cs_conservative;
+    ps_siread_digest = digest;
+  }
 
 let simulate_connection_loss db =
   (* In-flight (non-prepared) transactions vanish: their effects are rolled
@@ -1544,17 +1601,22 @@ let checkpoint db =
   | Some w ->
       let horizon = Clog.next_cseq db.clog in
       let snap = { Snapshot.owner = 0; horizon } in
+      (* Both folds below run over hash tables; sort the images (tables by
+         name, prepared transactions by gid) so the checkpoint bytes are a
+         deterministic function of the database state. *)
       let tables =
         Hashtbl.fold
           (fun name tbl acc ->
             let schema = Heap.schema tbl.heap in
             let cols = Array.to_list (Schema.columns schema) in
             let key = (Schema.columns schema).(Schema.key_index schema) in
+            let ki = Schema.key_index schema in
             let rows =
               Heap.fold_heads tbl.heap ~init:[] ~f:(fun acc head ->
                   match Visibility.latest_visible db.clog snap head with
                   | Some (v, _), _ -> Array.copy v.Heap.row :: acc
                   | None, _ -> acc)
+              |> List.sort (fun a b -> compare a.(ki) b.(ki))
             in
             let indexes =
               List.rev_map
@@ -1574,9 +1636,11 @@ let checkpoint db =
             }
             :: acc)
           db.tables []
+        |> List.sort (fun a b -> compare a.Wal.s_def.Wal.d_name b.Wal.s_def.Wal.d_name)
       in
       let prepared =
         Hashtbl.fold (fun gid txn acc -> prepared_image_of db txn gid :: acc) db.prepared_by_gid []
+        |> List.sort (fun a b -> compare a.Wal.p_gid b.Wal.p_gid)
       in
       (try
          ignore

@@ -129,10 +129,19 @@ type target = {
   replica : R.t option;
   fleet : R.t list;
   net : Stream.net option;
+  net_ops : Net.ops option;
 }
 
 let execute ?(observer = fun _ _ -> ()) target plan ~log =
   let logf fmt = Printf.ksprintf (fun s -> log (Printf.sprintf "%.4f %s" (Sim.now ()) s)) fmt in
+  (* Network events drive whichever control surface the harness supplied:
+     the replication stream's net directly, or the type-erased [Net.ops]
+     of a network whose message type this module cannot know (sharding). *)
+  let net_ops =
+    match target.net_ops with
+    | Some _ as o -> o
+    | None -> Option.map Net.ops target.net
+  in
   List.iter
     (fun ev ->
       let d = ev.at -. Sim.now () in
@@ -181,29 +190,29 @@ let execute ?(observer = fun _ _ -> ()) target plan ~log =
                   logf "lag-spike end"))
       | Failover -> logf "failover"
       | Partition { victim; duration } -> (
-          match target.net with
+          match net_ops with
           | None -> logf "partition skipped (no net)"
-          | Some net -> (
-              match Net.nodes net with
+          | Some o -> (
+              match o.Net.o_nodes () with
               | [] -> logf "partition skipped (no nodes)"
               | nodes ->
                   let node = List.nth nodes (victim mod List.length nodes) in
                   logf "partition begin node=%s" node;
-                  Net.isolate net node;
+                  o.Net.o_isolate node;
                   Sim.spawn (fun () ->
                       Sim.delay duration;
-                      Net.rejoin net node;
+                      o.Net.o_rejoin node;
                       logf "partition end node=%s" node)))
       | Net_chaos { drop; dup; reorder; duration } -> (
-          match target.net with
+          match net_ops with
           | None -> logf "net-chaos skipped (no net)"
-          | Some net ->
-              let was_drop, was_dup, was_reorder = Net.chaos net in
+          | Some o ->
+              let was_drop, was_dup, was_reorder = o.Net.o_chaos () in
               logf "net-chaos begin drop=%.3f dup=%.3f reorder=%.3f" drop dup reorder;
-              Net.set_chaos net ~drop ~duplicate:dup ~reorder ();
+              o.Net.o_set_chaos ~drop ~duplicate:dup ~reorder ();
               Sim.spawn (fun () ->
                   Sim.delay duration;
-                  Net.set_chaos net ~drop:was_drop ~duplicate:was_dup ~reorder:was_reorder ();
+                  o.Net.o_set_chaos ~drop:was_drop ~duplicate:was_dup ~reorder:was_reorder ();
                   logf "net-chaos end")));
       observer `After ev)
     plan.events

@@ -90,6 +90,11 @@ type target = {
           instead of [replica] *)
   net : Ssi_replication.Stream.net option;
       (** required for [Partition] and [Net_chaos] *)
+  net_ops : Ssi_net.Net.ops option;
+      (** alternative target for [Partition] / [Net_chaos]: the type-erased
+          control surface of a network whose message type is not the
+          replication stream's (e.g. a shard coordinator's).  Takes
+          precedence over [net] when both are set. *)
 }
 
 val execute :

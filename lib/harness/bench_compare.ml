@@ -249,7 +249,7 @@ type comparison = {
   c_mode : string;
   baseline_tps : float;
   current_tps : float;
-  delta_pct : float;  (** (current - baseline) / baseline * 100; 0 when no baseline *)
+  delta_pct : float;  (** (current - baseline) / baseline * 100; nan when no baseline *)
   verdict : verdict;
   baseline_p99 : float;
   current_p99 : float;
@@ -277,26 +277,34 @@ let compare_summaries ~tolerance ?(latency_tolerance = 0.25) ~baseline ~current 
             c_mode = cur.mode;
             baseline_tps = nan;
             current_tps = cur.throughput_tps;
-            delta_pct = 0.;
+            delta_pct = nan;
             verdict = Missing_baseline;
             baseline_p99 = nan;
             current_p99 = cur.p99_s;
-            p99_delta_pct = 0.;
+            p99_delta_pct = nan;
             p99_verdict = Missing_baseline;
           }
       | Some b ->
-          let delta_pct =
-            if b.throughput_tps = 0. then 0.
-            else (cur.throughput_tps -. b.throughput_tps) /. b.throughput_tps *. 100.
-          in
-          let verdict =
-            if delta_pct < -.(tolerance *. 100.) then Regressed
-            else if delta_pct > tolerance *. 100. then Improved
-            else Ok_within_tolerance
-          in
           let usable v = Float.is_finite v && v > 0. in
+          (* A 0.0 (or nan) baseline is a placeholder, not a measurement:
+             dividing by it would make every current value an infinite
+             "improvement" (or a nan that compares as ok).  Treat it as no
+             baseline and let the report say so. *)
+          let delta_pct, verdict =
+            if not (usable b.throughput_tps) then (nan, Missing_baseline)
+            else
+              let d =
+                (cur.throughput_tps -. b.throughput_tps) /. b.throughput_tps *. 100.
+              in
+              let v =
+                if d < -.(tolerance *. 100.) then Regressed
+                else if d > tolerance *. 100. then Improved
+                else Ok_within_tolerance
+              in
+              (d, v)
+          in
           let p99_delta_pct, p99_verdict =
-            if not (usable b.p99_s && usable cur.p99_s) then (0., Missing_baseline)
+            if not (usable b.p99_s && usable cur.p99_s) then (nan, Missing_baseline)
             else
               let d = (cur.p99_s -. b.p99_s) /. b.p99_s *. 100. in
               let v =
@@ -342,14 +350,15 @@ let render_report ~tolerance comparisons =
      | current p99 | p99 delta | p99 verdict |\n";
   Buffer.add_string buf "|---|---|---:|---:|---:|---|---:|---:|---:|---|\n";
   let lat v = if Float.is_nan v then "-" else Printf.sprintf "%.6f" v in
+  let pct v = if Float.is_nan v then "n/a" else Printf.sprintf "%+.1f%%" v in
   List.iter
     (fun c ->
       Buffer.add_string buf
-        (Printf.sprintf "| %s | %s | %s | %.1f | %+.1f%% | %s | %s | %s | %+.1f%% | %s |\n"
+        (Printf.sprintf "| %s | %s | %s | %.1f | %s | %s | %s | %s | %s | %s |\n"
            c.c_workload c.c_mode
            (if Float.is_nan c.baseline_tps then "-" else Printf.sprintf "%.1f" c.baseline_tps)
-           c.current_tps c.delta_pct (verdict_name c.verdict) (lat c.baseline_p99)
-           (lat c.current_p99) c.p99_delta_pct (verdict_name c.p99_verdict)))
+           c.current_tps (pct c.delta_pct) (verdict_name c.verdict) (lat c.baseline_p99)
+           (lat c.current_p99) (pct c.p99_delta_pct) (verdict_name c.p99_verdict)))
     comparisons;
   Buffer.add_char buf '\n';
   if any_regression comparisons then

@@ -55,10 +55,13 @@ type comparison = {
   baseline_tps : float;
   current_tps : float;
   delta_pct : float;
+      (** (current - baseline) / baseline * 100; [nan] (rendered "n/a")
+          when the mode has no usable baseline — including a 0.0
+          placeholder, which must not read as a measured value *)
   verdict : verdict;
   baseline_p99 : float;
   current_p99 : float;
-  p99_delta_pct : float;
+  p99_delta_pct : float;  (** [nan] when either p99 is unusable *)
   p99_verdict : verdict;
       (** tail-latency gate: [Regressed] when p99 {e rose} beyond the
           latency tolerance; [Missing_baseline] when either side lacks a

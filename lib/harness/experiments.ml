@@ -429,7 +429,14 @@ let bench_json ~workload ~duration measurements =
     String.concat ""
       [
         "{";
-        Printf.sprintf "\"mode\":\"%s\"," (json_escape (Driver.mode_name m.mode));
+        (* Mode key: sweeps whose points differ by x rather than by
+           isolation mode (x_value set nonzero, e.g. the sharded preset's
+           shard counts) key their summaries by x_label so comparisons
+           match like against like.  Plain mode sweeps all carry
+           x_value = 0 and keep the historical mode names, so committed
+           baselines stay byte-identical. *)
+        Printf.sprintf "\"mode\":\"%s\","
+          (json_escape (if m.x_value <> 0. then m.x_label else Driver.mode_name m.mode));
         Printf.sprintf "\"isolation\":\"%s\","
           (isolation_name (Driver.isolation_of_mode m.mode));
         Printf.sprintf "\"x\":\"%s\"," (json_escape m.x_label);

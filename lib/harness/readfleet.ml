@@ -195,7 +195,7 @@ let run cfg =
          in
          Sim.spawn (fun () ->
              F.execute ~observer
-               { F.engine = db; injector = None; replica = None; fleet = cores; net = Some net }
+               { F.engine = db; injector = None; replica = None; fleet = cores; net = Some net; net_ops = None }
                plan
                ~log:(fun l -> chaos_lines := l :: !chaos_lines));
          for w = 1 to cfg.workers do

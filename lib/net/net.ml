@@ -172,3 +172,28 @@ let stats t =
     ("net.reordered", Obs.counter_value t.c_reordered);
     ("net.sent", Obs.counter_value t.c_sent);
   ]
+
+(* ---- Type-erased control surface ------------------------------------------------ *)
+
+type ops = {
+  o_nodes : unit -> string list;
+  o_partition : string -> string -> unit;
+  o_heal : string -> string -> unit;
+  o_isolate : string -> unit;
+  o_rejoin : string -> unit;
+  o_heal_all : unit -> unit;
+  o_set_chaos : ?drop:float -> ?duplicate:float -> ?reorder:float -> unit -> unit;
+  o_chaos : unit -> float * float * float;
+}
+
+let ops t =
+  {
+    o_nodes = (fun () -> nodes t);
+    o_partition = (fun a b -> partition t a b);
+    o_heal = (fun a b -> heal t a b);
+    o_isolate = (fun n -> isolate t n);
+    o_rejoin = (fun n -> rejoin t n);
+    o_heal_all = (fun () -> heal_all t);
+    o_set_chaos = (fun ?drop ?duplicate ?reorder () -> set_chaos t ?drop ?duplicate ?reorder ());
+    o_chaos = (fun () -> chaos t);
+  }

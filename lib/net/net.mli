@@ -92,3 +92,23 @@ val send :
 
 val stats : 'msg t -> (string * int) list
 (** The [net.*] counters as an assoc list (name, value), sorted. *)
+
+(** {1 Type-erased control surface}
+
+    The fault scheduler ({!Ssi_fault.Fault}) drives partitions and chaos
+    knobs on whatever network the harness built, without knowing its
+    message type.  {!ops} packages the control operations (never [send])
+    behind closures so one scheduler can target a ['a t] of any ['a]. *)
+
+type ops = {
+  o_nodes : unit -> string list;
+  o_partition : string -> string -> unit;
+  o_heal : string -> string -> unit;
+  o_isolate : string -> unit;
+  o_rejoin : string -> unit;
+  o_heal_all : unit -> unit;
+  o_set_chaos : ?drop:float -> ?duplicate:float -> ?reorder:float -> unit -> unit;
+  o_chaos : unit -> float * float * float;
+}
+
+val ops : 'msg t -> ops

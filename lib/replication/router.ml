@@ -71,6 +71,7 @@ type t = {
   c_too_stale : Obs.counter;
   c_session_resets : Obs.counter;
   c_session_waits : Obs.counter;
+  c_session_deadline_misses : Obs.counter;
   c_primary_switches : Obs.counter;
   h_session_wait : Obs.histogram;
   g_healthy : Obs.gauge;
@@ -121,6 +122,7 @@ let create ?(policy = default_policy) ?(seed = 0) ~primary () =
       c_too_stale = Obs.counter obs "fleet.too_stale";
       c_session_resets = Obs.counter obs "fleet.session_resets";
       c_session_waits = Obs.counter obs "fleet.session_waits";
+      c_session_deadline_misses = Obs.counter obs "fleet.session_deadline_misses";
       c_primary_switches = Obs.counter obs "fleet.primary_switches";
       h_session_wait = Obs.histogram obs "fleet.session_wait";
       g_healthy = Obs.gauge obs "fleet.replicas.healthy";
@@ -274,8 +276,23 @@ let replica_attempt t m ~consistency ~required ~route_span f =
     | Some deadline when Sim.running () ->
         Obs.incr t.c_session_waits;
         let before = Sim.now () in
-        ignore (Replica.wait_snapshot ~deadline rep ~after:(need - 1));
-        Obs.observe t.h_session_wait (Sim.now () -. before)
+        (* A deadline miss raises a retryable fault.  It must not be
+           swallowed: serving the snapshot anyway would hand the session a
+           stale read below its own token.  Count the miss and re-raise so
+           the fallback ladder (next replica, then primary) takes over. *)
+        (match Replica.wait_snapshot ~deadline rep ~after:(need - 1) with
+        | (_ : int) -> Obs.observe t.h_session_wait (Sim.now () -. before)
+        | exception (E.Transient_fault _ as e) ->
+            Obs.observe t.h_session_wait (Sim.now () -. before);
+            Obs.incr t.c_session_deadline_misses;
+            Obs.trace t.r_obs "fleet.session_deadline_miss"
+              ~fields:
+                [
+                  ("replica", Obs.S (Replica.name rep));
+                  ("target", Obs.I need);
+                  ("safe", Obs.I (Replica.last_safe_cseq rep));
+                ];
+            raise e)
     | Some _ | None ->
         raise
           (E.Transient_fault

@@ -379,3 +379,34 @@ let pp_cycle history cycle =
              (String.concat ";" (List.map string_of_int t.writes))))
     history.committed;
   Buffer.contents buf
+
+(* ---- Combined multi-shard DSG ---------------------------------------------- *)
+
+(* Splice per-shard commit logs into one global history.  A distributed
+   transaction appears once per shard it touched (same global xid, the
+   branch's local reads/writes); merging concatenates the footprints and
+   keeps the coordinator commit timestamp, which every branch shares and
+   which is a linear extension of each shard's per-key write order — so
+   the spliced history's version orders are exactly the shards' local
+   ones, and [check_serializable] on the result is the combined DSG test
+   no single shard could run. *)
+let splice_shards shard_histories =
+  let merged : (int, committed) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun h ->
+      List.iter
+        (fun c ->
+          match Hashtbl.find_opt merged c.xid with
+          | None -> Hashtbl.add merged c.xid c
+          | Some prev ->
+              Hashtbl.replace merged c.xid
+                {
+                  xid = c.xid;
+                  reads = prev.reads @ c.reads;
+                  writes = prev.writes @ c.writes;
+                  order = max prev.order c.order;
+                })
+        h.committed)
+    shard_histories;
+  let all = Hashtbl.fold (fun _ c acc -> c :: acc) merged [] in
+  { committed = List.sort (fun a b -> compare (a.order, a.xid) (b.order, b.xid)) all }

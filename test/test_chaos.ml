@@ -205,7 +205,7 @@ let run_plan cfg =
              done);
          Sim.spawn (fun () ->
              F.execute ~observer
-               { F.engine = db; injector = Some injector; replica = Some replica; fleet = []; net = None }
+               { F.engine = db; injector = Some injector; replica = Some replica; fleet = []; net = None; net_ops = None }
                plan ~log);
          for w = 1 to cfg.workers do
            let rng = Rng.make (Hashtbl.hash (cfg.seed, w)) in

@@ -145,7 +145,7 @@ let run_scenario seed =
          in
          Sim.spawn (fun () ->
              F.execute ~observer
-               { F.engine = db; injector = None; replica = None; fleet = []; net = Some net }
+               { F.engine = db; injector = None; replica = None; fleet = []; net = Some net; net_ops = None }
                plan
                ~log:(fun l -> chaos_lines := l :: !chaos_lines));
          for w = 1 to workers do

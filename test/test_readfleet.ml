@@ -204,6 +204,36 @@ let test_read_your_writes () =
          Alcotest.(check bool) "waited for the frontier" true
            (counter db "fleet.session_waits" >= 1)))
 
+let test_session_deadline_miss_counted () =
+  (* Deterministic repro for the lazy session-deadline path: a replica
+     whose apply lag never drains cannot cover the session token before
+     the deadline.  The miss must be observed — counted in
+     [fleet.session_deadline_misses] and its wait time recorded — and the
+     router must still fall back and serve the read. *)
+  let db = E.create ~scheduler:Sim.scheduler () in
+  ignore
+    (Sim.run (fun () ->
+         E.create_table db ~name:table ~cols:[ "k"; "v" ] ~key:"k";
+         let core = R.attach ~name:"r1" db in
+         write db 0 1;
+         R.set_apply_lag core 10;
+         let policy =
+           { Router.default_policy with Router.session_deadline = Some 0.005 }
+         in
+         let router = Router.create ~policy ~primary:db () in
+         Router.add_replica router core;
+         let session = Router.session router in
+         Router.write ~session router (fun t ->
+             ignore (E.update t ~table ~key:(vi 0) ~f:(fun row -> [| row.(0); vi 42 |])));
+         Router.read_only ~session router (fun ro ->
+             Alcotest.(check (option int))
+               "fell back and read the session's write" (Some 42)
+               (Option.map (fun r -> Value.as_int r.(1)) (Router.read ro ~table ~key:(vi 0))));
+         Alcotest.(check bool) "deadline miss counted" true
+           (counter db "fleet.session_deadline_misses" >= 1);
+         Alcotest.(check bool) "wait attempted first" true
+           (counter db "fleet.session_waits" >= 1)))
+
 let test_spans_and_explain () =
   (* Routing decisions are span-traced: a [fleet.route] root with a
      [replica.read] child carrying the replica's name and staleness,
@@ -354,6 +384,8 @@ let () =
           Alcotest.test_case "probation and readmit" `Quick test_probation_and_readmit;
           Alcotest.test_case "bounded staleness skips" `Quick test_bounded_staleness_skips;
           Alcotest.test_case "read-your-writes" `Quick test_read_your_writes;
+          Alcotest.test_case "session deadline miss counted" `Quick
+            test_session_deadline_miss_counted;
           Alcotest.test_case "spans and explain" `Quick test_spans_and_explain;
         ] );
       ( "chaos-harness",

@@ -108,7 +108,7 @@ let run_scenario seed =
          let _s2 = Stream.subscribe net ~node:"r2" ~primary_node:"p" ~epoch:1 c2 in
          Sim.spawn (fun () ->
              F.execute
-               { F.engine = db; injector = None; replica = None; fleet = []; net = Some net }
+               { F.engine = db; injector = None; replica = None; fleet = []; net = Some net; net_ops = None }
                plan
                ~log:(fun _ -> ()));
          for w = 1 to workers do

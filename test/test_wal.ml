@@ -356,6 +356,59 @@ let test_recovery_counters () =
   Alcotest.(check int) "prepared_restored counter" 0
     (Obs.get_counter obs "recovery.prepared_restored")
 
+let test_checkpoint_determinism () =
+  (* Seed matrix: the same seeded run — several tables created in
+     non-alphabetical order, prepared transactions with out-of-order gids,
+     a checkpoint, then more traffic — must produce byte-identical WAL
+     images and the same (sorted) prepared gid list on every execution.
+     Guards the fold-order determinism of checkpoint table images,
+     checkpoint prepared-image lists and [prepared_gids]. *)
+  let run_once seed =
+    let path = Filename.temp_file "ssi_wal_det" ".wal" in
+    let gids = ref [] in
+    ignore
+      (Sim.run (fun () ->
+           let db = E.create ~scheduler:Sim.scheduler ~config () in
+           let w = Wal.create () in
+           E.attach_wal db w;
+           List.iter
+             (fun n -> E.create_table db ~name:n ~cols:[ "k"; "v" ] ~key:"k")
+             [ "zeta"; "acct"; "mid" ];
+           let rng = Ssi_util.Rng.make seed in
+           E.with_txn db (fun t ->
+               for i = 1 to 8 do
+                 let tbl = [| "zeta"; "acct"; "mid" |].(Ssi_util.Rng.int rng 3) in
+                 E.insert t ~table:tbl
+                   [| Value.Int i; Value.Int (Ssi_util.Rng.int rng 100) |]
+               done);
+           List.iter
+             (fun (gid, k) ->
+               let txn = E.begin_txn db in
+               E.insert txn ~table:"acct" [| Value.Int k; Value.Int k |];
+               E.prepare txn ~gid)
+             [ ("pz", 101); ("pa", 102); ("pm", 103) ];
+           E.checkpoint db;
+           E.with_txn db (fun t ->
+               E.insert t ~table:"mid" [| Value.Int 200; Value.Int 1 |]);
+           Wal.flush w;
+           Wal.save w path;
+           let db2, _report = E.recover ~scheduler:Sim.scheduler ~config w in
+           gids := E.prepared_gids db2));
+    let ic = open_in_bin path in
+    let bytes = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove path;
+    (bytes, !gids)
+  in
+  List.iter
+    (fun seed ->
+      let b1, g1 = run_once seed in
+      let b2, g2 = run_once seed in
+      Alcotest.(check bool) "byte-identical WAL image" true (b1 = b2);
+      Alcotest.(check (list string)) "identical prepared gids" g1 g2;
+      Alcotest.(check (list string)) "prepared gids sorted" (List.sort compare g1) g1)
+    [ 1; 2; 3 ]
+
 let () =
   Alcotest.run "wal"
     [
@@ -383,5 +436,7 @@ let () =
           Alcotest.test_case "from checkpoint" `Quick test_recover_from_checkpoint;
           Alcotest.test_case "mid-2PC, both resolutions" `Quick test_recover_mid_2pc;
           Alcotest.test_case "counters" `Quick test_recovery_counters;
+          Alcotest.test_case "checkpoint image determinism (seed matrix)" `Quick
+            test_checkpoint_determinism;
         ] );
     ]
